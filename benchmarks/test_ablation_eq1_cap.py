@@ -1,0 +1,7 @@
+"""Ablation study (beyond the paper): eq1 cap sensitivity."""
+
+from repro.bench.ablations import ablation_eq1_cap
+
+
+def test_ablation_eq1_cap(figure_runner):
+    figure_runner(ablation_eq1_cap)

@@ -1,0 +1,7 @@
+"""Ablation study (beyond the paper): §6 generality across PM devices."""
+
+from repro.bench.ablations import ablation_generality
+
+
+def test_ablation_generality(figure_runner):
+    figure_runner(ablation_generality)

@@ -1,0 +1,7 @@
+"""Ablation study (beyond the paper): hillclimb sensitivity."""
+
+from repro.bench.ablations import ablation_hillclimb
+
+
+def test_ablation_hillclimb(figure_runner):
+    figure_runner(ablation_hillclimb)

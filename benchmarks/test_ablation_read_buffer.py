@@ -1,0 +1,7 @@
+"""Ablation study (beyond the paper): read buffer sensitivity."""
+
+from repro.bench.ablations import ablation_read_buffer
+
+
+def test_ablation_read_buffer(figure_runner):
+    figure_runner(ablation_read_buffer)

@@ -1,0 +1,7 @@
+"""Ablation study (beyond the paper): shuffle sensitivity."""
+
+from repro.bench.ablations import ablation_shuffle
+
+
+def test_ablation_shuffle(figure_runner):
+    figure_runner(ablation_shuffle)

@@ -1,0 +1,7 @@
+"""Ablation study (beyond the paper): stream table sensitivity."""
+
+from repro.bench.ablations import ablation_stream_table
+
+
+def test_ablation_stream_table(figure_runner):
+    figure_runner(ablation_stream_table)

@@ -1,0 +1,7 @@
+"""Ablation study (beyond the paper): VAST-scale stripe widths (k=154)."""
+
+from repro.bench.ablations import ablation_vast_width
+
+
+def test_ablation_vast_width(figure_runner):
+    figure_runner(ablation_vast_width)

@@ -1,0 +1,7 @@
+"""Extension experiment (beyond the paper): DIALGA gain across (k, block)."""
+
+from repro.bench.ablations import extension_gain_heatmap
+
+
+def test_extension_gain_heatmap(figure_runner):
+    figure_runner(extension_gain_heatmap)

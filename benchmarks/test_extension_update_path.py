@@ -1,0 +1,7 @@
+"""Extension experiment (beyond the paper): prefetching on the update path."""
+
+from repro.bench.ablations import extension_update_path
+
+
+def test_extension_update_path(figure_runner):
+    figure_runner(extension_update_path)

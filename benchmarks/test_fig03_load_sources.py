@@ -1,0 +1,7 @@
+"""Fig. 3: encode throughput by load source and HW-prefetch state (see repro.bench.figures.fig03)."""
+
+from repro.bench.figures import fig03
+
+
+def test_fig03(figure_runner):
+    figure_runner(fig03)

@@ -1,0 +1,7 @@
+"""Fig. 4: encode throughput vs CPU frequency (see repro.bench.figures.fig04)."""
+
+from repro.bench.figures import fig04
+
+
+def test_fig04(figure_runner):
+    figure_runner(fig04)

@@ -1,0 +1,7 @@
+"""Fig. 5: stripe-width sweep and the 32-stream cliff (see repro.bench.figures.fig05)."""
+
+from repro.bench.figures import fig05
+
+
+def test_fig05(figure_runner):
+    figure_runner(fig05)

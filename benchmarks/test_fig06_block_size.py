@@ -1,0 +1,7 @@
+"""Fig. 6: block-size sweep, throughput and media amplification (see repro.bench.figures.fig06)."""
+
+from repro.bench.figures import fig06
+
+
+def test_fig06(figure_runner):
+    figure_runner(fig06)

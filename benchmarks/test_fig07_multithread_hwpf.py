@@ -1,0 +1,7 @@
+"""Fig. 7: multithread scalability with/without HW prefetch (see repro.bench.figures.fig07)."""
+
+from repro.bench.figures import fig07
+
+
+def test_fig07(figure_runner):
+    figure_runner(fig07)

@@ -1,0 +1,7 @@
+"""Fig. 10: encode throughput vs k, all five libraries (see repro.bench.figures.fig10)."""
+
+from repro.bench.figures import fig10
+
+
+def test_fig10(figure_runner):
+    figure_runner(fig10)

@@ -1,0 +1,7 @@
+"""Fig. 11: encode throughput vs parity count m (see repro.bench.figures.fig11)."""
+
+from repro.bench.figures import fig11
+
+
+def test_fig11(figure_runner):
+    figure_runner(fig11)

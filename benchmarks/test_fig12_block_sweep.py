@@ -1,0 +1,7 @@
+"""Fig. 12: encode throughput vs block size, all libraries (see repro.bench.figures.fig12)."""
+
+from repro.bench.figures import fig12
+
+
+def test_fig12(figure_runner):
+    figure_runner(fig12)

@@ -1,0 +1,7 @@
+"""Fig. 13: multithread scalability, DIALGA vs baselines (see repro.bench.figures.fig13)."""
+
+from repro.bench.figures import fig13
+
+
+def test_fig13(figure_runner):
+    figure_runner(fig13)

@@ -1,0 +1,7 @@
+"""Fig. 14: decode throughput vs stripe width (see repro.bench.figures.fig14)."""
+
+from repro.bench.figures import fig14
+
+
+def test_fig14(figure_runner):
+    figure_runner(fig14)

@@ -1,0 +1,7 @@
+"""Fig. 15: AVX512 vs AVX256 (see repro.bench.figures.fig15)."""
+
+from repro.bench.figures import fig15
+
+
+def test_fig15(figure_runner):
+    figure_runner(fig15)

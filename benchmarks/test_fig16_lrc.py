@@ -1,0 +1,7 @@
+"""Fig. 16: LRC encoding throughput (see repro.bench.figures.fig16)."""
+
+from repro.bench.figures import fig16
+
+
+def test_fig16(figure_runner):
+    figure_runner(fig16)

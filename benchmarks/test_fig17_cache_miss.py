@@ -1,0 +1,7 @@
+"""Fig. 17: cache miss cycles per load (see repro.bench.figures.fig17)."""
+
+from repro.bench.figures import fig17
+
+
+def test_fig17(figure_runner):
+    figure_runner(fig17)

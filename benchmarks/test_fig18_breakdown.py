@@ -1,0 +1,7 @@
+"""Fig. 18: ablation breakdown Vanilla/+SW/+HW/+BF (see repro.bench.figures.fig18)."""
+
+from repro.bench.figures import fig18
+
+
+def test_fig18(figure_runner):
+    figure_runner(fig18)

@@ -1,0 +1,7 @@
+"""Fig. 19: read traffic by memory layer (see repro.bench.figures.fig19)."""
+
+from repro.bench.figures import fig19
+
+
+def test_fig19(figure_runner):
+    figure_runner(fig19)

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Tour: which coding library wins on real production workload shapes?
+
+Sweeps the named production presets (Facebook f4, Azure LRC, Ceph
+defaults, VAST wide stripes, a PM KV write burst, a degraded-read
+storm) through the full library comparison on the simulated Optane
+testbed — the three-line API a downstream user starts from.
+
+Run:  python examples/production_workloads_tour.py
+"""
+
+from repro.bench import PRODUCTION_WORKLOADS, compare_libraries
+
+VOLUME = 64 * 1024  # per-point simulated volume (keep the tour quick)
+
+for name, (description, wl) in PRODUCTION_WORKLOADS.items():
+    wl = wl.with_(data_bytes_per_thread=VOLUME)
+    include = ("ISA-L", "ISA-L-D", "DIALGA") if wl.k > 32 or wl.lrc_l \
+        else ("ISA-L", "ISA-L-D", "Zerasure", "Cerasure", "DIALGA")
+    print(f"=== {name}: {description}")
+    comparison = compare_libraries(wl, include=include)
+    print(comparison)
+    speedup = comparison.speedup_over("ISA-L")["DIALGA"]
+    print(f"    DIALGA vs ISA-L: x{speedup:.2f}\n")
+
+print("Takeaway: the win grows exactly where the paper predicts — small "
+      "blocks,\nwide stripes and high concurrency; at 4 KB blocks with "
+      "narrow stripes the\nhardware prefetcher already does most of the work.")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: wide-stripe archival encoding (VAST-style RS(52, 48)).
+
+Archival systems push stripe width up (the paper cites VAST at k=154)
+to cut space overhead: RS(52,48) stores only 8.3% redundancy. But wide
+stripes overrun the L2 streamer's 32-stream tracking capacity, so on PM
+the hardware prefetcher silently gives up and plain ISA-L collapses
+(Obs. 3 / Fig. 10). This example reproduces that collapse and shows the
+three escape hatches: Cerasure-style decomposition, ISA-L-D, and
+DIALGA's stream-count-independent software prefetching.
+
+Run:  python examples/wide_stripe_archive.py
+"""
+
+import numpy as np
+
+from repro import (
+    Cerasure, DialgaEncoder, HardwareConfig, ISAL, ISALDecompose,
+    UnsupportedWorkload, Workload, Zerasure,
+)
+
+K, M = 48, 4
+BLOCK = 1024
+hw = HardwareConfig()
+rng = np.random.default_rng(7)
+
+print(f"wide-stripe archival code RS({K + M},{K}): "
+      f"{M / K:.1%} space overhead\n")
+
+# ------------------------------------------------------ verify the codes
+data = rng.integers(0, 256, (K, BLOCK)).astype(np.uint8)
+libraries = [ISAL(K, M), ISALDecompose(K, M), Cerasure(K, M),
+             DialgaEncoder(K, M)]
+reference = libraries[0].encode(data)
+for lib in libraries[:2] + [libraries[3]]:
+    assert np.array_equal(lib.encode(data), reference)
+print("functional check: ISA-L, ISA-L-D and DIALGA parities are "
+      "byte-identical; Cerasure uses its own (equally MDS) matrix")
+
+# Repair a worst-case burst of M erasures through DIALGA.
+erased = sorted(rng.choice(K + M, size=M, replace=False).tolist())
+blocks = {i: data[i] for i in range(K)}
+blocks.update({K + i: reference[i] for i in range(M)})
+out = libraries[3].decode(
+    {i: b for i, b in blocks.items() if i not in erased}, erased)
+assert all(np.array_equal(out[e], blocks[e]) for e in erased)
+print(f"repaired a {M}-erasure burst {erased}\n")
+
+# ----------------------------------------------------- the streamer wall
+wl = Workload(k=K, m=M, block_bytes=BLOCK, data_bytes_per_thread=192 * 1024)
+print(f"{'library':>10} {'GB/s':>6}  note")
+for lib in (ISAL(K, M), ISALDecompose(K, M), Zerasure(K, M),
+            Cerasure(K, M), DialgaEncoder(K, M)):
+    try:
+        res = lib.run(wl, hw)
+        note = {
+            "ISA-L": "streamer over capacity -> no prefetch at all",
+            "ISA-L-D": "decompose re-engages the streamer, pays parity reload",
+            "Cerasure": "XOR schedule + decompose (AVX256 only)",
+            "DIALGA": "software prefetch needs no stream tracking",
+        }.get(lib.name, "")
+        print(f"{lib.name:>10} {res.throughput_gbps:>6.2f}  {note}")
+    except UnsupportedWorkload:
+        print(f"{lib.name:>10} {'n/a':>6}  matrix search does not converge "
+              "at this width (paper: 'missing results')")
+
+# ----------------------------------------- how narrow should you shard?
+print("\nthroughput if the archive sharded the same data into narrower "
+      "stripes (ISA-L vs DIALGA):")
+print(f"{'k':>4} {'overhead':>9} {'ISA-L':>7} {'DIALGA':>7}")
+for k in (12, 24, 32, 48):
+    wl_k = Workload(k=k, m=M, block_bytes=BLOCK,
+                    data_bytes_per_thread=128 * 1024)
+    isal = ISAL(k, M).run(wl_k, hw).throughput_gbps
+    dialga = DialgaEncoder(k, M).run(wl_k, hw).throughput_gbps
+    print(f"{k:>4} {M / k:>8.1%} {isal:>7.2f} {dialga:>7.2f}")
+print("\nWith DIALGA, the throughput penalty for wide stripes largely "
+      "disappears — you can have the 8% overhead *and* the bandwidth.")

@@ -1,0 +1,79 @@
+"""Calibration scratchpad: check Obs. 1-5 shapes emerge from the simulator.
+
+Run:  python scripts/calibrate_obs.py
+"""
+import time
+
+from repro.simulator import HardwareConfig, simulate
+from repro.simulator.params import CPUConfig
+from repro.trace import Workload, isal_trace, IsalVariant
+
+HW = HardwareConfig()
+VOL = 256 * 1024
+
+
+def run(wl, hw, variant=IsalVariant()):
+    traces = [isal_trace(wl, hw.cpu, variant, thread=t) for t in range(wl.nthreads)]
+    return simulate(traces, hw)
+
+
+def fig3():
+    print("== Fig 3: RS(12,8) k=8 m=4 1KB, load source x prefetch ==")
+    wl = Workload(k=8, m=4, block_bytes=1024, data_bytes_per_thread=VOL)
+    for src in ("pm", "dram"):
+        for pf in (False, True):
+            hw = HW.with_(load_source=src).with_prefetcher(enabled=pf)
+            r = run(wl, hw)
+            print(f"  {src:4s} pf={pf!s:5s}: {r.throughput_gbps:6.2f} GB/s  "
+                  f"stall/load={r.counters.avg_load_latency_ns:6.1f}ns")
+
+
+def fig5():
+    print("== Fig 5: k sweep, m=4, 4KB blocks ==")
+    for k in (4, 8, 12, 16, 24, 32, 36, 48, 64):
+        wl = Workload(k=k, m=4, block_bytes=4096, data_bytes_per_thread=VOL)
+        r = run(wl, HW)
+        c = r.counters
+        print(f"  k={k:3d}: {r.throughput_gbps:6.2f} GB/s  "
+              f"useless={c.useless_hwpf_ratio:5.2f} pf/load={c.hwpf_per_load:5.2f}")
+
+
+def fig6():
+    print("== Fig 6: RS(28,24) block size sweep ==")
+    for bs in (256, 512, 1024, 2048, 3072, 4096, 5120):
+        wl = Workload(k=24, m=4, block_bytes=bs, data_bytes_per_thread=VOL)
+        r_on = run(wl, HW)
+        r_off = run(wl, HW.with_prefetcher(enabled=False))
+        print(f"  bs={bs:5d}: pf_on={r_on.throughput_gbps:6.2f} "
+              f"pf_off={r_off.throughput_gbps:6.2f} GB/s  "
+              f"amp_on={r_on.counters.media_read_amplification:5.2f}")
+
+
+def fig7():
+    print("== Fig 7: RS(28,24) 1KB multithread ==")
+    for nt in (1, 2, 4, 8, 12, 16, 18):
+        wl = Workload(k=24, m=4, block_bytes=1024, nthreads=nt,
+                      data_bytes_per_thread=VOL // 2)
+        t0 = time.time()
+        r_on = run(wl, HW)
+        r_off = run(wl, HW.with_prefetcher(enabled=False))
+        print(f"  nt={nt:2d}: on={r_on.throughput_gbps:6.2f} "
+              f"off={r_off.throughput_gbps:6.2f} GB/s "
+              f"amp_on={r_on.counters.media_read_amplification:5.2f} "
+              f"({time.time()-t0:4.1f}s)")
+
+
+def fig4():
+    print("== Fig 4: frequency sweep, RS(12,8) ==")
+    for ghz in (1.2, 1.8, 2.4, 3.0, 3.3):
+        for src in ("pm", "dram"):
+            wl = Workload(k=8, m=4, block_bytes=1024, data_bytes_per_thread=VOL)
+            hw = HW.with_(load_source=src).with_cpu(freq_ghz=ghz)
+            r = run(wl, hw)
+            print(f"  {ghz:3.1f}GHz {src:4s}: {r.throughput_gbps:6.2f} GB/s")
+
+
+if __name__ == "__main__":
+    t0 = time.time()
+    fig3(); fig5(); fig6(); fig7(); fig4()
+    print(f"total {time.time()-t0:.1f}s")

@@ -1,0 +1,66 @@
+"""Grid search prefetcher ramp knobs against the paper's target bands."""
+import itertools
+
+from repro.simulator import HardwareConfig, simulate
+from repro.trace import Workload, isal_trace, IsalVariant
+
+VOL = 192 * 1024
+
+
+def run(wl, hw):
+    traces = [isal_trace(wl, hw.cpu, IsalVariant(), thread=t) for t in range(wl.nthreads)]
+    return simulate(traces, hw)
+
+
+def evaluate(thr, ramp, maxd):
+    hw0 = HardwareConfig().with_prefetcher(train_threshold=thr, ramp_div=ramp,
+                                           max_distance=maxd)
+    out = {}
+    wl3 = Workload(k=8, m=4, block_bytes=1024, data_bytes_per_thread=VOL)
+    pm_off = run(wl3, hw0.with_prefetcher(enabled=False, train_threshold=thr,
+                                          ramp_div=ramp, max_distance=maxd)).throughput_gbps
+    pm_on = run(wl3, hw0).throughput_gbps
+    dr_off = run(wl3, hw0.with_(load_source="dram").with_prefetcher(
+        enabled=False, train_threshold=thr, ramp_div=ramp, max_distance=maxd)).throughput_gbps
+    dr_on = run(wl3, hw0.with_(load_source="dram")).throughput_gbps
+    out["pm_gain"] = pm_on / pm_off - 1
+    out["dram_gain"] = dr_on / dr_off - 1
+    out["ratio"] = dr_off / pm_off
+    wl24 = lambda bs: Workload(k=24, m=4, block_bytes=bs, data_bytes_per_thread=VOL)
+    for bs, tag in ((256, "b256"), (512, "b512"), (1024, "b1k"), (4096, "b4k")):
+        r_on = run(wl24(bs), hw0)
+        r_off = run(wl24(bs), hw0.with_prefetcher(enabled=False, train_threshold=thr,
+                                                  ramp_div=ramp, max_distance=maxd))
+        out[f"{tag}_gain"] = r_on.throughput_gbps / r_off.throughput_gbps - 1
+        out[f"{tag}_amp"] = r_on.counters.media_read_amplification
+    # Fig 5 stage-i contrast at 4KB
+    k4 = run(Workload(k=4, m=4, block_bytes=4096, data_bytes_per_thread=VOL), hw0).throughput_gbps
+    k24 = run(Workload(k=24, m=4, block_bytes=4096, data_bytes_per_thread=VOL), hw0).throughput_gbps
+    out["k4_vs_k24"] = k4 / k24
+    return out
+
+
+def score(o):
+    checks = [
+        0.30 <= o["pm_gain"] <= 0.75,
+        0.80 <= o["dram_gain"] <= 1.40,
+        2.5 <= o["ratio"] <= 4.0,
+        o["b256_gain"] < 0.15 and o["b256_amp"] <= 1.3,
+        o["b512_gain"] < 0.30 and o["b512_amp"] <= 1.5,
+        0.30 <= o["b1k_gain"] <= 1.2 and 1.10 <= o["b1k_amp"] <= 1.55,
+        o["b4k_amp"] <= 1.02,
+        o["k4_vs_k24"] < 0.80,
+    ]
+    return sum(checks), checks
+
+
+for thr, ramp, maxd in itertools.product((3, 4, 5, 6, 8), (1, 2, 3), (8, 16)):
+    o = evaluate(thr, ramp, maxd)
+    s, checks = score(o)
+    print(f"thr={thr} ramp={ramp} maxd={maxd}: score={s}/8 "
+          f"pm={o['pm_gain']:+.0%} dram={o['dram_gain']:+.0%} ratio={o['ratio']:.1f} "
+          f"b256={o['b256_gain']:+.0%}/{o['b256_amp']:.2f} "
+          f"b512={o['b512_gain']:+.0%}/{o['b512_amp']:.2f} "
+          f"b1k={o['b1k_gain']:+.0%}/{o['b1k_amp']:.2f} "
+          f"b4k_amp={o['b4k_amp']:.2f} k4/k24={o['k4_vs_k24']:.2f} "
+          f"{''.join('.' if c else 'X' for c in checks)}")

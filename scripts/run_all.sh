@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: install, test, regenerate every figure,
+# rebuild the reports. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== install =="
+pip install -e . 2>/dev/null || python setup.py develop
+
+echo "== unit / property / integration tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== figure benchmarks (writes benchmarks/results/) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== paper-vs-measured report =="
+python scripts/make_experiments_md.py
+
+echo "== API reference =="
+python scripts/gen_api_docs.py
+
+echo "all done"

@@ -1,0 +1,57 @@
+"""DIALGA reproduction: adaptive prefetcher scheduling for erasure
+coding on persistent memory (Xu et al., ICPP 2025).
+
+Layers (bottom-up):
+
+* :mod:`repro.gf`, :mod:`repro.matrix`, :mod:`repro.codes`,
+  :mod:`repro.xorsched` — bit-exact coding substrate.
+* :mod:`repro.simulator`, :mod:`repro.trace` — the simulated testbed
+  (CPU + stream prefetcher + DRAM/Optane-PM) and kernel access traces.
+* :mod:`repro.libs` — the compared systems (ISA-L, ISA-L-D, Zerasure,
+  Cerasure) as functional-codec + trace facades.
+* :mod:`repro.core` — DIALGA itself.
+* :mod:`repro.bench` — experiment harness regenerating every paper
+  figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import DialgaEncoder, Workload
+>>> enc = DialgaEncoder(k=8, m=4)
+>>> data = np.random.default_rng(0).integers(0, 256, (8, 1024)).astype(np.uint8)
+>>> parity = enc.encode(data)
+>>> result = enc.run(Workload(k=8, m=4, block_bytes=1024))
+>>> result.throughput_gbps > 0
+True
+"""
+
+from repro.codes import RSCode, LRCCode, Stripe
+from repro.core import DialgaEncoder, Policy, AdaptiveCoordinator
+from repro.gf import GF, gf8
+from repro.libs import ISAL, ISALDecompose, Zerasure, Cerasure, UnsupportedWorkload
+from repro.simulator import HardwareConfig, simulate, SimResult, Counters
+from repro.trace import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RSCode",
+    "LRCCode",
+    "Stripe",
+    "DialgaEncoder",
+    "Policy",
+    "AdaptiveCoordinator",
+    "GF",
+    "gf8",
+    "ISAL",
+    "ISALDecompose",
+    "Zerasure",
+    "Cerasure",
+    "UnsupportedWorkload",
+    "HardwareConfig",
+    "simulate",
+    "SimResult",
+    "Counters",
+    "Workload",
+    "__version__",
+]

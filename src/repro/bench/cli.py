@@ -1,0 +1,86 @@
+"""Command-line harness: ``python -m repro.bench <experiment>``.
+
+Runs one (or all) figure/ablation experiments on the simulated testbed
+and prints — optionally persists — the measured series with the
+paper-shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+
+def _experiments() -> dict:
+    from repro.bench.ablations import ALL_ABLATIONS
+    from repro.bench.figures import ALL_FIGURES
+    out = dict(ALL_FIGURES)
+    out.update(ALL_ABLATIONS)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures on the simulated testbed.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig10 ablation_shuffle) "
+                             "or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to write <id>.txt reports into")
+    parser.add_argument("--volume", type=int, default=None,
+                        help="override per-point simulated volume (bytes)")
+    parser.add_argument("--plot", action="store_true",
+                        help="append an ASCII chart of the measured series")
+    parser.add_argument("--json", action="store_true",
+                        help="also write <id>.json next to the text report "
+                             "(requires --out)")
+    args = parser.parse_args(argv)
+
+    table = _experiments()
+    if args.list or not args.experiments:
+        width = max(len(n) for n in table)
+        for name, func in table.items():
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<{width}}  {doc}")
+        return 0
+
+    names = list(table) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in table]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use --list to see what is available", file=sys.stderr)
+        return 2
+
+    failed = 0
+    for name in names:
+        t0 = time.time()
+        result = table[name](args.volume)
+        text = result.render()
+        if args.plot:
+            from repro.bench.plotting import ascii_chart
+            text += "\n\n" + ascii_chart(result)
+        print(text)
+        print(f"  ({time.time() - t0:.1f}s)\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{result.fig_id}.txt").write_text(text + "\n")
+            if args.json:
+                import json
+                (args.out / f"{result.fig_id}.json").write_text(
+                    json.dumps(result.to_dict(), indent=2) + "\n")
+        if not result.all_passed:
+            failed += 1
+    if failed:
+        print(f"{failed} experiment(s) had failing shape checks",
+              file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Terminal (ASCII) charts for figure results.
+
+No plotting stack is available offline, and the reproduction's outputs
+are small series — a calibrated ASCII chart in the benchmark logs is
+genuinely more useful here than a PNG nobody renders. Used by the CLI's
+``--plot`` flag.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import FigureResult
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(fig: FigureResult, columns: list[str] | None = None,
+                height: int = 12, width: int | None = None) -> str:
+    """Render selected columns of a figure as an ASCII line chart.
+
+    Rows become the x axis (in order); each column gets a mark from
+    ``o x + * ...``. Missing values (unsupported workloads) leave gaps.
+    """
+    columns = columns or fig.columns
+    columns = [c for c in columns if any(
+        isinstance(vals.get(c), (int, float)) for _, vals in fig.rows)]
+    if not columns or not fig.rows:
+        return "(no numeric series to plot)"
+    values = {c: fig.series(c) for c in columns}
+    flat = [v for series in values.values() for v in series if v is not None]
+    lo, hi = min(flat), max(flat)
+    if hi == lo:
+        hi = lo + 1.0
+    n = len(fig.rows)
+    width = width or max(2 * n, 24)
+    xstep = (width - 1) / max(1, n - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for ci, col in enumerate(columns):
+        mark = _MARKS[ci % len(_MARKS)]
+        for i, v in enumerate(values[col]):
+            if v is None:
+                continue
+            x = round(i * xstep)
+            y = height - 1 - round((v - lo) / (hi - lo) * (height - 1))
+            grid[y][x] = mark
+    label_w = 8
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{hi:7.2f} "
+        elif r == height - 1:
+            label = f"{lo:7.2f} "
+        else:
+            label = " " * label_w
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * label_w + "+" + "-" * width)
+    first, last = fig.rows[0][0], fig.rows[-1][0]
+    pad = max(1, width - len(first) - len(last))
+    lines.append(" " * (label_w + 1) + first + " " * pad + last)
+    legend = "  ".join(f"{_MARKS[i % len(_MARKS)]}={c}"
+                       for i, c in enumerate(columns))
+    lines.append(" " * label_w + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Named production workload presets.
+
+The paper grounds its parameter choices in deployed systems (§3.2,
+§5.1): Facebook's f4 uses 12-wide stripes, Azure uses LRC, VAST runs
+154-wide stripes, object sizes in cache clusters range from hundreds of
+bytes to a few KB (Twitter's production study). These presets bundle
+those shapes so examples and user code can sweep realistic points
+without re-deriving them.
+"""
+
+from __future__ import annotations
+
+from repro.trace.workload import Workload
+
+#: Named (description, workload) production configurations.
+PRODUCTION_WORKLOADS: dict[str, tuple[str, Workload]] = {
+    "f4": (
+        "Facebook f4 warm-BLOB storage: RS(14,10)-class narrow stripe",
+        Workload(k=10, m=4, block_bytes=4096),
+    ),
+    "f4_smallobj": (
+        "f4 geometry with cache-cluster object sizes (~1KB)",
+        Workload(k=10, m=4, block_bytes=1024),
+    ),
+    "azure_lrc": (
+        "Azure-style LRC(12,2,2) with local reconstruction groups",
+        Workload(k=12, m=2, lrc_l=2, block_bytes=4096),
+    ),
+    "vast_wide": (
+        "VAST wide stripe (k=154): minimal space overhead archival",
+        Workload(k=154, m=4, block_bytes=1024),
+    ),
+    "ceph_default": (
+        "Ceph erasure-coded pool default profile: k=4, m=2",
+        Workload(k=4, m=2, block_bytes=4096),
+    ),
+    "pm_kv_burst": (
+        "PM KV-store write burst: small blocks, high concurrency",
+        Workload(k=8, m=4, block_bytes=1024, nthreads=16),
+    ),
+    "degraded_read": (
+        "Degraded-read storm: decode path, one failed device",
+        Workload(k=10, m=4, block_bytes=4096, op="decode", erasures=1),
+    ),
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a production workload preset by name."""
+    try:
+        return PRODUCTION_WORKLOADS[name][1]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(PRODUCTION_WORKLOADS)}"
+        ) from None

@@ -1,0 +1,13 @@
+"""Functional erasure codecs (bit-exact, NumPy-vectorized).
+
+These classes do *real* coding — they are used both to verify
+correctness (tests encode/corrupt/decode round-trips) and as the
+functional halves of the library facades in :mod:`repro.libs`, whose
+performance halves emit memory-access traces for the simulator.
+"""
+
+from repro.codes.stripe import Stripe, split_blocks, join_blocks
+from repro.codes.rs import RSCode
+from repro.codes.lrc import LRCCode
+
+__all__ = ["Stripe", "split_blocks", "join_blocks", "RSCode", "LRCCode"]

@@ -1,0 +1,89 @@
+"""Stripe and block layout helpers.
+
+A *stripe* is ``k`` data blocks plus ``m`` parity blocks of equal size.
+These helpers slice flat byte buffers into block matrices (views where
+possible, per the HPC guide's no-copies advice) and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def split_blocks(data: np.ndarray | bytes, k: int, pad: bool = True) -> np.ndarray:
+    """Reshape a flat byte buffer into a ``(k, block_len)`` uint8 matrix.
+
+    If ``pad`` and the length is not divisible by ``k``, zero-pads the
+    tail (standard stripe padding); otherwise raises ``ValueError``.
+    Returns a view when no padding is needed.
+    """
+    buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8).ravel()
+    rem = len(buf) % k
+    if rem:
+        if not pad:
+            raise ValueError(f"length {len(buf)} not divisible by k={k}")
+        buf = np.concatenate([buf, np.zeros(k - rem, dtype=np.uint8)])
+    return buf.reshape(k, -1)
+
+
+def join_blocks(blocks: np.ndarray, length: int | None = None) -> bytes:
+    """Flatten a block matrix back to bytes, truncating padding."""
+    flat = np.asarray(blocks, dtype=np.uint8).reshape(-1)
+    if length is not None:
+        flat = flat[:length]
+    return flat.tobytes()
+
+
+@dataclass
+class Stripe:
+    """One erasure-coded stripe: ``k`` data + ``m`` parity blocks.
+
+    Attributes
+    ----------
+    data:
+        ``(k, block_len)`` uint8 array.
+    parity:
+        ``(m, block_len)`` uint8 array.
+    """
+
+    data: np.ndarray
+    parity: np.ndarray
+
+    def __post_init__(self):
+        # Preserve the symbol dtype (uint8 for GF(2^8), uint32 for GF(2^16)).
+        self.data = np.asarray(self.data)
+        self.parity = np.asarray(self.parity)
+        if self.data.ndim != 2 or self.parity.ndim != 2:
+            raise ValueError("data and parity must be 2-D block matrices")
+        if self.data.shape[1] != self.parity.shape[1]:
+            raise ValueError("data and parity block lengths differ")
+
+    @property
+    def k(self) -> int:
+        """Number of data blocks."""
+        return self.data.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Number of parity blocks."""
+        return self.parity.shape[0]
+
+    @property
+    def block_len(self) -> int:
+        """Block length in bytes."""
+        return self.data.shape[1]
+
+    def blocks(self) -> np.ndarray:
+        """All ``k+m`` blocks stacked data-first."""
+        return np.vstack([self.data, self.parity])
+
+    def erase(self, indices) -> dict[int, np.ndarray]:
+        """Return surviving blocks as ``{index: block}``, dropping ``indices``.
+
+        Indices are stripe-global: ``0..k-1`` data, ``k..k+m-1`` parity.
+        """
+        erased = set(indices)
+        all_blocks = self.blocks()
+        return {i: all_blocks[i] for i in range(self.k + self.m) if i not in erased}

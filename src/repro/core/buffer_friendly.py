@@ -1,0 +1,61 @@
+"""PM read-buffer-friendly prefetching math (§4.3).
+
+Implements the paper's Eq. (1) distance cap and the non-uniform
+distance rule: the *first* cacheline of each XPLine is prefetched from
+further back (it pays the media latency; its implicit load then makes
+the XPLine's remaining lines cheap), while the rest use the base
+distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulator.params import PMConfig
+
+
+def bf_distances(k: int, base: int | None = None) -> tuple[int, int]:
+    """(first-line distance, remaining-lines distance).
+
+    The paper initializes the XPLine-leading distance to ``k + 4`` and
+    lets the coordinator adjust it upward; the leading line pays the
+    media latency while the rest hit the read buffer, so once the
+    coordinator has a tuned base distance it doubles it for the leading
+    line (lead time scales with distance) and keeps the base for the
+    remaining lines.
+    """
+    if base is None:
+        return k + 4, k
+    return 2 * base, base
+
+
+def eq1_max_distance(nthreads: int, k: int, m: int, pm: PMConfig,
+                     nt_stores: bool = True) -> int:
+    """Largest prefetch distance satisfying the paper's Eq. (1).
+
+    ``nthread * k * 256B * ceil(max(d) / (k + m)) <= buffer_size``,
+    with m = 0 when parity is written non-temporally (it never occupies
+    the read buffer). Returns at least 1 — below that the read buffer
+    cannot even hold the demand streams and prefetching should back off
+    entirely.
+    """
+    if nthreads < 1 or k < 1:
+        raise ValueError("nthreads and k must be positive")
+    buffer_bytes = pm.read_buffer_kb * 1024
+    denom = k if nt_stores else k + m
+    xplines_budget = buffer_bytes // (nthreads * k * pm.xpline_bytes)
+    # ceil(d / denom) <= xplines_budget  =>  d <= denom * xplines_budget
+    return max(1, denom * xplines_budget)
+
+
+def thrash_thread_bound(k: int, pm: PMConfig, streams_per_thread_factor: float = 1.0) -> int:
+    """Thread count at which the read buffer starts thrashing.
+
+    With each thread holding ~``k`` live XPLines (one per stream;
+    more with aggressive prefetching — raise the factor), thrashing
+    begins when ``nthreads * k * factor`` exceeds the buffer's XPLine
+    capacity. For the paper's testbed this gives the 12-thread
+    coordinator threshold (§4.1.2) and the 8 x 48-stream bound (§5.3).
+    """
+    capacity = pm.buffer_capacity_lines
+    return max(1, int(capacity / (k * streams_per_thread_factor)))

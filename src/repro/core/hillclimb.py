@@ -1,0 +1,72 @@
+"""Hill-climbing search for the software-prefetch distance (§4.1.2).
+
+The paper: start at ``d = k``, iteratively explore a neighborhood of
+size 16 around the current distance, move to the best neighbor, stop at
+a local optimum. The objective is the measured latency of short 128 B
+sub-tasks — here, the simulated time of a small probe workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class HillClimber:
+    """Generic integer hill climber with a fixed-size neighborhood.
+
+    Parameters
+    ----------
+    objective:
+        Function to *minimize* (e.g. probe latency in ns). Evaluations
+        are memoized, so re-visiting a distance is free.
+    lower, upper:
+        Inclusive bounds of the search domain.
+    neighborhood:
+        How many neighbors to examine per step (paper: 16 — the
+        nearest 8 on each side).
+    max_steps:
+        Safety bound on climb iterations.
+    """
+
+    def __init__(self, objective: Callable[[int], float],
+                 lower: int = 1, upper: int = 4096,
+                 neighborhood: int = 16, max_steps: int = 64):
+        if lower > upper:
+            raise ValueError("lower bound exceeds upper bound")
+        self.objective = objective
+        self.lower, self.upper = lower, upper
+        self.neighborhood = neighborhood
+        self.max_steps = max_steps
+        self._cache: dict[int, float] = {}
+        self.evaluations = 0
+
+    def _eval(self, x: int) -> float:
+        if x not in self._cache:
+            self._cache[x] = self.objective(x)
+            self.evaluations += 1
+        return self._cache[x]
+
+    def _neighbors(self, x: int) -> list[int]:
+        half = self.neighborhood // 2
+        out = []
+        for step in range(1, half + 1):
+            for cand in (x - step, x + step):
+                if self.lower <= cand <= self.upper:
+                    out.append(cand)
+        return out
+
+    def search(self, start: int) -> tuple[int, float]:
+        """Climb from ``start``; returns ``(best_x, best_value)``."""
+        x = min(max(start, self.lower), self.upper)
+        best = self._eval(x)
+        for _ in range(self.max_steps):
+            candidates = self._neighbors(x)
+            if not candidates:
+                break
+            vals = [(self._eval(c), c) for c in candidates]
+            v, c = min(vals)
+            if v < best:
+                best, x = v, c
+            else:
+                break  # local optimum
+        return x, best

@@ -1,0 +1,115 @@
+"""DIALGA's lightweight operator (§4.2).
+
+Two mechanisms, both branch-free at kernel run time:
+
+* **Static shuffle mapping** — a fixed permutation of the cacheline
+  processing order that presents no ascending pattern to the L2
+  streamer, so its confidence never builds: a function-level,
+  privilege-free hardware-prefetcher *off* switch. Deactivating the
+  mapping (processing in natural order) re-trains the streamer — the
+  *on* switch. Row independence of the coding kernel makes any order
+  bit-exact.
+
+* **Branchless prefetch pointers** — the software-prefetch targets are
+  pre-computed as an address table parallel to the load sequence
+  (vectorized pre-processing in the paper), so the kernel needs no
+  bounds branches; tail elements simply have no pointer and revert to
+  the plain kernel.
+
+The trace generator (:mod:`repro.trace.isal_gen`) embeds both; this
+module exposes them directly for inspection, tests and reuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.isal_gen import _row_order
+from repro.trace.layout import StripeLayout
+
+
+def static_shuffle_mapping(lines: int) -> list[int]:
+    """The static permutation used to defeat the L2 streamer.
+
+    Deterministic (a *static* mapping): every call returns the same
+    order for a given length, with no two consecutive rows within
+    +-2 lines of each other (the streamer's sequential window)
+    whenever the length allows it.
+    """
+    return _row_order(lines, shuffle=True)
+
+
+def verify_shuffle_defeats_streamer(order: list[int],
+                                    train_threshold: int = 4) -> bool:
+    """Check the invariants the mapping must satisfy.
+
+    Two criteria (see :func:`repro.trace.isal_gen._row_order`):
+
+    1. no two consecutive accesses within the +-2 sequential window
+       (defeats naive adjacent-delta detection), and
+    2. a head-tracking streamer (confidence +1 on a +1/+2 head advance,
+       neutral behind the head, -2 on forward jumps) never reaches the
+       training threshold.
+
+    Below 8 lines no permutation can keep every consecutive gap > 2
+    (pigeonhole), so tiny streams are exempt — they are too short to
+    train the streamer anyway (its threshold exceeds their length).
+    """
+    if len(order) <= 7:
+        return True
+    diffs = np.abs(np.diff(np.asarray(order)))
+    if bool(np.any(diffs <= 2)):
+        return False
+    head, conf = order[0], 0
+    for line in order[1:]:
+        if line in (head + 1, head + 2):
+            conf += 1
+            head = line
+            if conf >= train_threshold:
+                return False
+        elif line > head:
+            conf = max(0, conf - 2)
+            head = line
+    return True
+
+
+def build_prefetch_pointers(layout: StripeLayout, stripe: int,
+                            order: list[int], d: int,
+                            d_first: int | None = None) -> list[list[int]]:
+    """Pre-compute the software-prefetch address table (§4.2.2).
+
+    Element ``n`` of the load sequence (row-major over ``order`` rows x
+    k blocks) gets the addresses to prefetch while it executes — empty
+    for tail elements, which revert to the standard kernel. With
+    ``d_first`` set (§4.3.2), XPLine-leading targets are prefetched from
+    ``d_first`` elements back and the others from ``d``, so an element
+    can carry up to two pointers (the paper's two vectorized pointer
+    groups). Semantics match the trace generator exactly (tests assert
+    this).
+    """
+    k = layout.k
+    total = len(order) * k
+
+    def addr(n: int) -> int:
+        rp, j = divmod(n, k)
+        return layout.line_addr(stripe, j, order[rp])
+
+    def is_first(a: int) -> bool:
+        return (a // 64) % 4 == 0
+
+    table: list[list[int]] = []
+    for n in range(total):
+        targets: list[int] = []
+        t = n + d
+        if t < total:
+            a = addr(t)
+            if d_first is None or not is_first(a):
+                targets.append(a)
+        if d_first is not None:
+            t2 = n + d_first
+            if t2 < total:
+                a2 = addr(t2)
+                if is_first(a2):
+                    targets.append(a2)
+        table.append(targets)
+    return table

@@ -1,0 +1,62 @@
+"""DIALGA scheduling policy.
+
+A :class:`Policy` is the coordinator's output: which prefetching
+strategy the kernel should run *right now*. It maps one-to-one onto the
+static ISA-L kernel entry points the paper describes (§4.1.2 — "each
+entry point corresponds to a distinct strategy, while the prefetch
+distance is adjusted via parameters").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.trace.isal_gen import IsalVariant
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Current prefetcher-scheduling decision.
+
+    Attributes
+    ----------
+    hw_prefetch:
+        True = let the L2 streamer run; False = defeat it with the
+        static shuffle mapping (the fine-grained off switch, §4.2.2).
+    sw_distance:
+        Pipelined software-prefetch distance d in sequence elements
+        (cachelines); None disables software prefetching.
+    bf_first_distance:
+        Read-buffer-friendly longer distance for XPLine-leading lines
+        (§4.3.2); None = uniform distance.
+    xpline_granularity:
+        Expand the loop task to 256 B (§4.3.3, high-pressure only).
+    """
+
+    hw_prefetch: bool = True
+    sw_distance: int | None = None
+    bf_first_distance: int | None = None
+    xpline_granularity: bool = False
+
+    def to_variant(self) -> IsalVariant:
+        """The kernel entry point implementing this policy."""
+        return IsalVariant(
+            sw_prefetch_distance=self.sw_distance,
+            bf_first_line_distance=self.bf_first_distance,
+            shuffle=not self.hw_prefetch,
+            xpline_granularity=self.xpline_granularity,
+        )
+
+    def with_(self, **kwargs) -> "Policy":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Short human-readable strategy tag (for logs/benchmarks)."""
+        bits = [f"hw={'on' if self.hw_prefetch else 'off(shuffle)'}"]
+        bits.append(f"sw_d={self.sw_distance}")
+        if self.bf_first_distance is not None:
+            bits.append(f"bf_d1={self.bf_first_distance}")
+        if self.xpline_granularity:
+            bits.append("xpline")
+        return " ".join(bits)

@@ -1,0 +1,83 @@
+"""Dense polynomials over GF(2^w).
+
+Used by tests as an independent oracle (e.g. checking Vandermonde
+evaluation points) and by the RS layer for syndrome-style verification.
+Coefficients are stored lowest-degree first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.arithmetic import GF
+
+
+class GFPolynomial:
+    """A polynomial with coefficients in GF(2^w).
+
+    Parameters
+    ----------
+    field:
+        The :class:`~repro.gf.arithmetic.GF` instance.
+    coeffs:
+        Iterable of coefficients, ``coeffs[i]`` multiplying ``x^i``.
+        Trailing zero coefficients are trimmed.
+    """
+
+    def __init__(self, field: GF, coeffs):
+        self.field = field
+        c = np.asarray(list(coeffs), dtype=field.dtype)
+        # trim trailing zeros but keep at least one coefficient
+        nz = np.nonzero(c)[0]
+        self.coeffs = c[: nz[-1] + 1] if len(nz) else c[:1]
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; the zero polynomial has degree 0."""
+        return len(self.coeffs) - 1
+
+    def __call__(self, x):
+        """Evaluate at ``x`` (scalar or array) by Horner's rule."""
+        f = self.field
+        x = np.asarray(x, dtype=f.dtype)
+        acc = np.full(x.shape, self.coeffs[-1], dtype=f.dtype)
+        for c in self.coeffs[-2::-1]:
+            acc = f.add(f.mul(acc, x), c)
+        return acc if acc.shape else acc[()]
+
+    def __add__(self, other: "GFPolynomial") -> "GFPolynomial":
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = a.copy()
+        out[: len(b)] ^= b
+        return GFPolynomial(self.field, out)
+
+    def __mul__(self, other: "GFPolynomial") -> "GFPolynomial":
+        f = self.field
+        out = np.zeros(self.degree + other.degree + 1, dtype=f.dtype)
+        for i, ci in enumerate(self.coeffs):
+            if ci:
+                out[i : i + len(other.coeffs)] ^= f.mul_block(int(ci), other.coeffs)
+        return GFPolynomial(f, out)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GFPolynomial)
+            and self.field is other.field
+            and np.array_equal(self.coeffs, other.coeffs)
+        )
+
+    def __hash__(self):
+        return hash((self.field.w, self.coeffs.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GFPolynomial({list(int(c) for c in self.coeffs)})"
+
+    @classmethod
+    def from_roots(cls, field: GF, roots) -> "GFPolynomial":
+        """Monic polynomial with the given roots: prod (x - r)."""
+        p = cls(field, [1])
+        for r in roots:
+            p = p * cls(field, [int(r), 1])  # (x + r) == (x - r) in char 2
+        return p

@@ -1,0 +1,30 @@
+"""Coding-library facades — the paper's compared systems (§5.1).
+
+Each facade couples a *functional* codec (bit-exact encode/decode) with
+a *performance* model (the memory-access trace its kernel executes):
+
+* :class:`ISAL` — table-lookup RS, one-pass row-major kernel, AVX512.
+* :class:`ISALDecompose` — ISA-L-D: ISA-L plus wide-stripe decomposition.
+* :class:`Zerasure` — annealed Cauchy bitmatrix + CSE XOR schedule,
+  AVX256 only; fails to converge on wide stripes.
+* :class:`Cerasure` — greedy bitmatrix + CSE schedule + decomposition,
+  AVX256 only.
+* DIALGA itself lives in :mod:`repro.core` and implements the same
+  interface.
+"""
+
+from repro.libs.base import CodingLibrary, LibraryResult, UnsupportedWorkload
+from repro.libs.isal import ISAL
+from repro.libs.isal_decompose import ISALDecompose
+from repro.libs.zerasure import Zerasure
+from repro.libs.cerasure import Cerasure
+
+__all__ = [
+    "CodingLibrary",
+    "LibraryResult",
+    "ISAL",
+    "ISALDecompose",
+    "Zerasure",
+    "Cerasure",
+    "UnsupportedWorkload",
+]

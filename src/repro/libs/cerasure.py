@@ -1,0 +1,81 @@
+"""Cerasure facade (Niu et al., ICCD'23).
+
+Encoding matrices come from a deterministic greedy search; encoding
+executes a CSE-optimized XOR schedule. Wide stripes are *decomposed*
+into narrow passes (partial parities XOR-folded, parity reloaded
+between passes) so the L2 streamer re-engages — the strategy ISA-L-D
+borrows. Kernels are AVX256-only.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.gf.arithmetic import gf8
+from repro.libs.base import CodingLibrary
+from repro.libs.xor_common import BitmatrixCode, cached_group_schedule, lrc_xor_trace
+from repro.simulator import HardwareConfig
+from repro.trace import Trace, Workload, xor_schedule_trace, xor_decomposed_trace
+
+
+@lru_cache(maxsize=None)
+def _greedy(k: int, m: int):
+    from repro.xorsched.greedy import greedy_cauchy_points
+    return greedy_cauchy_points(gf8, k, m)
+
+
+class Cerasure(CodingLibrary):
+    """Greedy-bitmatrix XOR code with decomposition for wide stripes."""
+
+    name = "Cerasure"
+    forced_simd = "avx256"
+    #: Stripes wider than this are decomposed (streamer capacity bound).
+    decompose_threshold = 32
+
+    def __init__(self, k: int, m: int, group_size: int = 16):
+        self.k, self.m = k, m
+        self.group_size = group_size
+        _, _, parity = _greedy(k, m)
+        self.parity = parity
+        self.code = BitmatrixCode(k, m, parity)
+        self._decode_scheds: dict[int, object] = {}
+
+    @property
+    def decomposes(self) -> bool:
+        """Whether this geometry uses the decompose strategy."""
+        return self.k > self.decompose_threshold
+
+    def _groups(self) -> list[list[int]]:
+        g = self.group_size
+        return [list(range(c, min(c + g, self.k))) for c in range(0, self.k, g)]
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Functional encode (single pass; decompose is numerically
+        identical, see :mod:`repro.xorsched.decompose`)."""
+        return self.code.encode(data)
+
+    def decode(self, available, erased):
+        return self.code.decode(available, erased)
+
+    def trace(self, wl: Workload, hw: HardwareConfig, thread: int) -> Trace:
+        if wl.lrc_l is not None:
+            return lrc_xor_trace(self.code, self._decode_scheds, wl, hw, thread)
+        if wl.op == "decode":
+            sched = self._decode_scheds.get(wl.erasures)
+            if sched is None:
+                sched = self.code.decode_schedule(wl.erasures)
+                self._decode_scheds[wl.erasures] = sched
+            wl2 = wl.with_(m=wl.erasures, op="encode", erasures=0)
+            return xor_schedule_trace(wl2, hw.cpu, sched, thread=thread)
+        if self.decomposes:
+            key = (self.name, self.k, self.m, self.parity.tobytes())
+            group_schedules = [
+                (cached_group_schedule(key, tuple(cols)), cols)
+                for cols in self._groups()
+            ]
+            return xor_decomposed_trace(wl, hw.cpu, group_schedules,
+                                        thread=thread)
+        return xor_schedule_trace(wl, hw.cpu, self.code.encode_schedule,
+                                  thread=thread)

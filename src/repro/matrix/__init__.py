@@ -1,0 +1,23 @@
+"""Coding-matrix construction and GF linear algebra.
+
+Provides the generator matrices used by every codec:
+
+* systematic Vandermonde (ISA-L's ``gf_gen_rs_matrix`` analogue),
+* Cauchy and "good" (low bit-weight) Cauchy matrices for XOR codes,
+* Gaussian elimination / inversion over GF(2^w) for decoding.
+"""
+
+from repro.matrix.vandermonde import vandermonde_matrix, systematic_vandermonde
+from repro.matrix.cauchy import cauchy_matrix, systematic_cauchy, optimize_cauchy_ones
+from repro.matrix.invert import gf_invert_matrix, gf_solve, gf_rank
+
+__all__ = [
+    "vandermonde_matrix",
+    "systematic_vandermonde",
+    "cauchy_matrix",
+    "systematic_cauchy",
+    "optimize_cauchy_ones",
+    "gf_invert_matrix",
+    "gf_solve",
+    "gf_rank",
+]

@@ -1,0 +1,79 @@
+"""Gaussian elimination, inversion and rank over GF(2^w).
+
+Decoding a stripe with erasures reduces to inverting the surviving
+k x k submatrix of the generator — this module is that primitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.arithmetic import GF
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a matrix that must be invertible is singular."""
+
+
+def _eliminate(field: GF, M: np.ndarray) -> tuple[np.ndarray, int]:
+    """Row-reduce ``M`` in place (returns the matrix and its rank)."""
+    rows, cols = M.shape
+    rank = 0
+    for col in range(cols):
+        if rank == rows:
+            break
+        pivot = None
+        for r in range(rank, rows):
+            if M[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        if pivot != rank:
+            M[[rank, pivot]] = M[[pivot, rank]]
+        inv = int(field.inv(int(M[rank, col])))
+        M[rank] = field.mul(M[rank], inv)
+        for r in range(rows):
+            if r != rank and M[r, col]:
+                M[r] ^= field.mul(int(M[r, col]), M[rank])
+        rank += 1
+    return M, rank
+
+
+def gf_rank(field: GF, A: np.ndarray) -> int:
+    """Rank of ``A`` over the field."""
+    M = np.array(A, dtype=field.dtype, copy=True)
+    _, rank = _eliminate(field, M)
+    return rank
+
+
+def gf_invert_matrix(field: GF, A: np.ndarray) -> np.ndarray:
+    """Invert square matrix ``A`` over GF(2^w).
+
+    Raises
+    ------
+    SingularMatrixError
+        If ``A`` is singular.
+    """
+    A = np.asarray(A, dtype=field.dtype)
+    n, n2 = A.shape
+    if n != n2:
+        raise ValueError(f"matrix must be square, got {A.shape}")
+    aug = np.zeros((n, 2 * n), dtype=field.dtype)
+    aug[:, :n] = A
+    aug[np.arange(n), n + np.arange(n)] = 1
+    aug, rank = _eliminate(field, aug)
+    if rank < n or not np.array_equal(
+        aug[:, :n], np.eye(n, dtype=field.dtype)
+    ):
+        raise SingularMatrixError("matrix is singular over GF(2^w)")
+    return aug[:, n:].copy()
+
+
+def gf_solve(field: GF, A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``A @ x = b`` over the field (b may be a matrix of columns)."""
+    Ainv = gf_invert_matrix(field, A)
+    b = np.asarray(b, dtype=field.dtype)
+    if b.ndim == 1:
+        return field.matmul(Ainv, b[:, None])[:, 0]
+    return field.matmul(Ainv, b)

@@ -1,0 +1,48 @@
+"""Vandermonde-based generator matrices.
+
+``systematic_vandermonde`` mirrors ISA-L's ``gf_gen_rs_matrix``: build a
+(k+m) x k Vandermonde matrix and row-reduce so the top k x k block is
+the identity — data blocks pass through unchanged and the bottom m rows
+are the parity coefficients. Any k rows of the result are linearly
+independent, which is what makes RS(k+m, k) MDS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.arithmetic import GF
+from repro.matrix.invert import gf_invert_matrix
+
+
+def vandermonde_matrix(field: GF, rows: int, cols: int) -> np.ndarray:
+    """Plain Vandermonde matrix ``V[i, j] = i ** j`` over the field.
+
+    Row 0 is ``[1, 0, 0, ...]`` by the convention ``0**0 = 1``.
+    """
+    if rows > field.order:
+        raise ValueError(
+            f"cannot build {rows} distinct evaluation points in GF(2^{field.w})"
+        )
+    V = np.zeros((rows, cols), dtype=field.dtype)
+    for i in range(rows):
+        for j in range(cols):
+            V[i, j] = field.pow(i, j) if (i or not j) else 0
+    V[0, 0] = 1
+    return V
+
+
+def systematic_vandermonde(field: GF, k: int, m: int) -> np.ndarray:
+    """Systematic (k+m) x k generator matrix.
+
+    The top k rows are the identity; the bottom m rows generate parity.
+    Equivalent in spirit to ISA-L ``gf_gen_rs_matrix(a, k+m, k)``.
+    """
+    if k + m > field.order:
+        raise ValueError(
+            f"RS({k + m},{k}) does not fit in GF(2^{field.w}) "
+            f"(need k+m <= {field.order})"
+        )
+    V = vandermonde_matrix(field, k + m, k)
+    top_inv = gf_invert_matrix(field, V[:k])
+    return field.matmul(V, top_inv)

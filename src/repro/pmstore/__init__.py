@@ -1,0 +1,31 @@
+"""An erasure-coded persistent-memory store (application substrate).
+
+The paper's motivation (§1-2) is PM's reliability gap: media bit flips,
+write disturbances and software scribbles that on-DIMM ECC cannot
+catch, repaired by system-level erasure coding. This package is that
+application layer, built on the repo's codecs — the downstream consumer
+a DIALGA user actually runs:
+
+* :class:`~repro.pmstore.store.PMStore` — an object store whose value
+  space is protected by RS or LRC stripes; put/get/delete, degraded
+  reads, repair, and a coding-cost model (simulated, via any
+  :class:`~repro.libs.base.CodingLibrary`).
+* :class:`~repro.pmstore.faults.FaultInjector` — media bit flips,
+  block/device loss and software scribbles, with deterministic seeding.
+* :class:`~repro.pmstore.scrubber.Scrubber` — parity-consistency
+  scrubbing: detect, locate (checksum-assisted) and repair corruption.
+"""
+
+from repro.pmstore.store import PMStore, StoreStats, ObjectMeta
+from repro.pmstore.faults import FaultInjector, FaultEvent
+from repro.pmstore.scrubber import Scrubber, ScrubReport
+
+__all__ = [
+    "PMStore",
+    "StoreStats",
+    "ObjectMeta",
+    "FaultInjector",
+    "FaultEvent",
+    "Scrubber",
+    "ScrubReport",
+]

@@ -1,0 +1,91 @@
+"""Fault injection for the PM store.
+
+Models the paper's §2.1 error taxonomy: random media bit flips and
+write disturbance (silent corruption, caught only by checksums),
+region/device loss (detected erasures), and software scribbles
+(wild writes from buggy kernels/scrubbers — also silent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pmstore.store import PMStore
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (returned so tests can assert exact damage)."""
+
+    kind: str            # "bit_flip" | "block_loss" | "device_loss" | "scribble"
+    stripe: int
+    block: int
+    detail: str = ""
+
+
+class FaultInjector:
+    """Deterministic fault source over a :class:`PMStore`."""
+
+    def __init__(self, store: PMStore, seed: int = 0):
+        self.store = store
+        self.rng = np.random.default_rng(seed)
+        self.events: list[FaultEvent] = []
+
+    def _random_block(self) -> tuple[int, int]:
+        sid = int(self.rng.integers(self.store.num_stripes))
+        block = int(self.rng.integers(self.store.k + self.store.parity_blocks))
+        return sid, block
+
+    def bit_flip(self, stripe: int | None = None, block: int | None = None,
+                 nbits: int = 1) -> FaultEvent:
+        """Flip random bit(s) in one block — *silent* corruption."""
+        if stripe is None or block is None:
+            stripe, block = self._random_block()
+        blocks = self.store.blocks_of(stripe)
+        target = blocks[block]
+        s = self.store._stripes[stripe]
+        arr = s.data[block] if block < self.store.k else s.parity[block - self.store.k]
+        for _ in range(nbits):
+            byte = int(self.rng.integers(len(target)))
+            bit = int(self.rng.integers(8))
+            arr[byte] ^= 1 << bit
+        ev = FaultEvent("bit_flip", stripe, block, f"{nbits} bit(s)")
+        self.events.append(ev)
+        return ev
+
+    def scribble(self, stripe: int | None = None, block: int | None = None,
+                 length: int = 64) -> FaultEvent:
+        """Overwrite a run of bytes with garbage (software error path)."""
+        if stripe is None or block is None:
+            stripe, block = self._random_block()
+        s = self.store._stripes[stripe]
+        arr = s.data[block] if block < self.store.k else s.parity[block - self.store.k]
+        start = int(self.rng.integers(max(1, len(arr) - length)))
+        arr[start:start + length] = self.rng.integers(
+            0, 256, min(length, len(arr) - start), dtype=np.uint8)
+        ev = FaultEvent("scribble", stripe, block, f"{length} B @ {start}")
+        self.events.append(ev)
+        return ev
+
+    def block_loss(self, stripe: int | None = None,
+                   block: int | None = None) -> FaultEvent:
+        """Lose one block region — a *detected* erasure."""
+        if stripe is None or block is None:
+            stripe, block = self._random_block()
+        self.store.mark_lost(stripe, block)
+        ev = FaultEvent("block_loss", stripe, block)
+        self.events.append(ev)
+        return ev
+
+    def device_loss(self, device: int) -> list[FaultEvent]:
+        """Lose block position ``device`` in *every* stripe — the
+        correlated failure striping is designed for."""
+        out = []
+        for sid in range(self.store.num_stripes):
+            self.store.mark_lost(sid, device)
+            ev = FaultEvent("device_loss", sid, device)
+            self.events.append(ev)
+            out.append(ev)
+        return out

@@ -1,0 +1,301 @@
+"""The erasure-coded PM object store.
+
+Objects are packed into fixed-geometry stripes (k data + m parity
+blocks, one block per simulated PM "device region" so correlated loss
+maps to block loss). The store keeps per-block CRC32 checksums — the
+standard trick (Pangolin, NOVA-Fortis) that turns silent corruption
+into locatable *erasures*, which RS can then repair.
+
+Performance accounting is optional: hand the store a
+:class:`~repro.libs.base.CodingLibrary` (e.g. ``DialgaEncoder``) and a
+:class:`~repro.simulator.HardwareConfig`, and every encode/decode also
+runs the corresponding workload on the simulated testbed, accumulating
+coding time into :class:`StoreStats`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codes.rs import RSCode
+from repro.codes.lrc import LRCCode
+from repro.libs.base import CodingLibrary
+from repro.simulator.params import HardwareConfig
+from repro.trace.workload import Workload
+
+
+@dataclass
+class ObjectMeta:
+    """Where one object lives."""
+
+    key: str
+    stripe: int
+    offset: int          # byte offset within the stripe's data space
+    length: int
+
+
+@dataclass
+class StoreStats:
+    """Operational counters, including simulated coding time."""
+
+    puts: int = 0
+    gets: int = 0
+    degraded_reads: int = 0
+    repairs: int = 0
+    blocks_repaired: int = 0
+    encode_ns: float = 0.0
+    decode_ns: float = 0.0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+@dataclass
+class _Stripe:
+    data: np.ndarray                  # (k, block) uint8
+    parity: np.ndarray                # (m [+l], block) uint8
+    checksums: list[int]              # per stripe-global block
+    used: int = 0                     # bytes of data space consumed
+    lost: set = field(default_factory=set)  # stripe-global indices marked lost
+
+
+class PMStore:
+    """A reliability-coded object store over (simulated) PM.
+
+    Parameters
+    ----------
+    k, m:
+        Stripe geometry.
+    block_bytes:
+        Block size (also the device-region granularity).
+    lrc_l:
+        If set, protect with LRC(k, m, l) instead of RS — single-block
+        losses then repair by reading one group only.
+    library:
+        Optional coding library whose simulated performance is charged
+        for every encode/decode (defaults to pure functional coding
+        with no timing).
+    hw:
+        Testbed for the performance model.
+    """
+
+    def __init__(self, k: int, m: int, block_bytes: int = 4096,
+                 lrc_l: int | None = None,
+                 library: CodingLibrary | None = None,
+                 hw: HardwareConfig | None = None):
+        self.k, self.m = k, m
+        self.block_bytes = block_bytes
+        self.lrc_l = lrc_l
+        self.code = LRCCode(k, m, lrc_l) if lrc_l else RSCode(k, m)
+        self.library = library
+        self.hw = hw or HardwareConfig()
+        self.stats = StoreStats()
+        self._stripes: list[_Stripe] = []
+        self._objects: dict[str, ObjectMeta] = {}
+
+    # -- geometry helpers --------------------------------------------------
+
+    @property
+    def stripe_data_bytes(self) -> int:
+        """Object-payload capacity of one stripe."""
+        return self.k * self.block_bytes
+
+    @property
+    def parity_blocks(self) -> int:
+        """Parity blocks per stripe (global + local for LRC)."""
+        return self.m + (self.lrc_l or 0)
+
+    def _checksum(self, block: np.ndarray) -> int:
+        return zlib.crc32(block.tobytes())
+
+    def _charge(self, op: str, stripes: int) -> None:
+        """Charge simulated coding time for ``stripes`` stripe ops."""
+        if self.library is None or stripes == 0:
+            return
+        wl = Workload(
+            k=self.k, m=self.m, block_bytes=self.block_bytes,
+            lrc_l=self.lrc_l if op == "encode" else None,
+            op="encode" if op == "encode" else "decode",
+            erasures=0 if op == "encode" else min(self.m, 1),
+            data_bytes_per_thread=stripes * self.stripe_data_bytes)
+        res = self.library.run(wl, self.hw)
+        if op == "encode":
+            self.stats.encode_ns += res.sim.makespan_ns
+        else:
+            self.stats.decode_ns += res.sim.makespan_ns
+
+    # -- stripe management ---------------------------------------------------
+
+    def _encode_stripe(self, data: np.ndarray) -> _Stripe:
+        if self.lrc_l:
+            gp, lp = self.code.encode(data)
+            parity = np.vstack([gp, lp])
+        else:
+            parity = self.code.encode_blocks(data)
+        checksums = [self._checksum(data[i]) for i in range(self.k)]
+        checksums += [self._checksum(parity[i]) for i in range(len(parity))]
+        return _Stripe(data=data, parity=parity, checksums=checksums)
+
+    def _new_stripe(self) -> int:
+        data = np.zeros((self.k, self.block_bytes), dtype=np.uint8)
+        self._stripes.append(self._encode_stripe(data))
+        return len(self._stripes) - 1
+
+    def _reencode(self, sid: int) -> None:
+        """Refresh parity and checksums after a data write (in place —
+        allocation state and loss marks must survive)."""
+        stripe = self._stripes[sid]
+        fresh = self._encode_stripe(stripe.data)
+        stripe.parity = fresh.parity
+        stripe.checksums = fresh.checksums
+
+    # -- public object API ------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> ObjectMeta:
+        """Store an object (at most one stripe of payload)."""
+        if len(value) > self.stripe_data_bytes:
+            raise ValueError(
+                f"object of {len(value)} B exceeds stripe capacity "
+                f"{self.stripe_data_bytes} B; shard it")
+        if key in self._objects:
+            self.delete(key)
+        sid = None
+        for i, s in enumerate(self._stripes):
+            if s.used + len(value) <= self.stripe_data_bytes and not s.lost:
+                sid = i
+                break
+        if sid is None:
+            sid = self._new_stripe()
+        stripe = self._stripes[sid]
+        offset = stripe.used
+        flat = stripe.data.reshape(-1)
+        flat[offset:offset + len(value)] = np.frombuffer(value, dtype=np.uint8)
+        stripe.used += len(value)
+        self._reencode(sid)
+        self._charge("encode", 1)
+        meta = ObjectMeta(key=key, stripe=sid, offset=offset, length=len(value))
+        self._objects[key] = meta
+        self.stats.puts += 1
+        self.stats.bytes_written += len(value)
+        return meta
+
+    def get(self, key: str) -> bytes:
+        """Read an object, transparently repairing through parity if its
+        blocks are marked lost (a *degraded read*)."""
+        meta = self._objects[key]
+        stripe = self._stripes[meta.stripe]
+        blocks_needed = set(
+            range(meta.offset // self.block_bytes,
+                  (meta.offset + meta.length - 1) // self.block_bytes + 1))
+        lost_needed = blocks_needed & stripe.lost
+        if lost_needed:
+            self.stats.degraded_reads += 1
+            recovered = self._decode(meta.stripe, sorted(stripe.lost))
+            data = stripe.data.copy()
+            for e, block in recovered.items():
+                if e < self.k:
+                    data[e] = block
+        else:
+            data = stripe.data
+        flat = data.reshape(-1)
+        self.stats.gets += 1
+        self.stats.bytes_read += meta.length
+        return flat[meta.offset:meta.offset + meta.length].tobytes()
+
+    def put_sharded(self, key: str, value: bytes) -> list[ObjectMeta]:
+        """Store an object of any size, sharding across stripes.
+
+        Shards are stored as ``key#<i>`` objects plus a ``key`` manifest
+        entry recording the shard count; read back with
+        :meth:`get_sharded`.
+        """
+        cap = self.stripe_data_bytes
+        shards = [value[i:i + cap] for i in range(0, max(1, len(value)), cap)]
+        metas = [self.put(f"{key}#{i}", shard)
+                 for i, shard in enumerate(shards)]
+        self._objects[key] = ObjectMeta(key=key, stripe=-1, offset=len(shards),
+                                        length=len(value))
+        return metas
+
+    def get_sharded(self, key: str) -> bytes:
+        """Reassemble an object stored with :meth:`put_sharded`."""
+        manifest = self._objects[key]
+        nshards, length = manifest.offset, manifest.length
+        data = b"".join(self.get(f"{key}#{i}") for i in range(nshards))
+        return data[:length]
+
+    def delete(self, key: str) -> None:
+        """Drop an object (space is not compacted; this is a test store).
+
+        Sharded objects cascade to their shards.
+        """
+        meta = self._objects.pop(key)
+        if meta.stripe == -1:  # a shard manifest
+            for i in range(meta.offset):
+                self._objects.pop(f"{key}#{i}", None)
+
+    def keys(self) -> list[str]:
+        """All stored object keys."""
+        return list(self._objects)
+
+    # -- failure handling ----------------------------------------------------
+
+    def blocks_of(self, sid: int) -> np.ndarray:
+        """All stripe-global blocks of stripe ``sid`` (data first)."""
+        s = self._stripes[sid]
+        return np.vstack([s.data, s.parity])
+
+    def mark_lost(self, sid: int, block: int) -> None:
+        """Declare a block erased (device region failed)."""
+        total = self.k + self.parity_blocks
+        if not 0 <= block < total:
+            raise IndexError(f"block {block} out of range 0..{total - 1}")
+        self._stripes[sid].lost.add(block)
+
+    def _decode(self, sid: int, erased: list[int]) -> dict[int, np.ndarray]:
+        stripe = self._stripes[sid]
+        blocks = self.blocks_of(sid)
+        avail = {i: blocks[i] for i in range(len(blocks)) if i not in erased}
+        out = self.code.decode(avail, erased)
+        self._charge("decode", 1)
+        return out
+
+    def repair(self, sid: int) -> int:
+        """Rebuild every lost block of a stripe; returns how many.
+
+        The plain-RS budget is ``m`` erasures; LRC stripes can exceed it
+        when local parities absorb part of the damage, so the store
+        attempts the decode and reports data loss only when it is truly
+        unrecoverable.
+        """
+        stripe = self._stripes[sid]
+        if not stripe.lost:
+            return 0
+        erased = sorted(stripe.lost)
+        try:
+            out = self._decode(sid, erased)
+        except ValueError as exc:
+            raise ValueError(
+                f"stripe {sid} lost {len(erased)} blocks beyond repair "
+                f"capacity: data loss") from exc
+        for e, block in out.items():
+            if e < self.k:
+                stripe.data[e] = block
+            else:
+                stripe.parity[e - self.k] = block
+            stripe.checksums[e] = self._checksum(block)
+        stripe.lost.clear()
+        self.stats.repairs += 1
+        self.stats.blocks_repaired += len(erased)
+        return len(erased)
+
+    def repair_all(self) -> int:
+        """Repair every stripe with losses; returns blocks rebuilt."""
+        return sum(self.repair(sid) for sid in range(len(self._stripes))
+                   if self._stripes[sid].lost)
+
+    @property
+    def num_stripes(self) -> int:
+        return len(self._stripes)

@@ -1,0 +1,87 @@
+"""Private-core cache presence model.
+
+Coding kernels stream their inputs — every 64 B line is demanded
+exactly once — so the interesting cache questions reduce to: *did a
+prefetch land this line in L2 before its demand access, and was it
+evicted (or never demanded) in between?* We therefore model the L1/L2
+hierarchy as one LRU presence map with the L2's capacity, tracking for
+each resident line its fill-completion time and whether it arrived via
+hardware prefetch, software prefetch or demand.
+
+Useless-prefetch accounting (the PMU 0xf2 analogue) covers all three
+ways a prefetch can be wasted: evicted before use, never demanded
+(block-end overshoot), or arriving after the demand already paid the
+memory latency ("late", counted when the line is claimed).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.simulator.counters import Counters
+
+#: Line provenance markers.
+DEMAND, HWPF, SWPF = 0, 1, 2
+
+
+@dataclass
+class _Line:
+    arrival_ns: float
+    source: int
+    used: bool
+    #: What a demand-priority fill of this line would have cost (ns);
+    #: bounds the residual wait when a demand promotes a late prefetch.
+    promo_ns: float = 0.0
+
+
+class CoreCache:
+    """LRU presence map over 64 B lines with prefetch bookkeeping."""
+
+    def __init__(self, capacity_lines: int, counters: Counters):
+        if capacity_lines < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity_lines
+        self.counters = counters
+        self._lines: OrderedDict[int, _Line] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._lines
+
+    def lookup(self, line_addr: int) -> _Line | None:
+        """Return the resident entry (refreshing LRU) or None."""
+        ent = self._lines.get(line_addr)
+        if ent is not None:
+            self._lines.move_to_end(line_addr)
+        return ent
+
+    def insert(self, line_addr: int, arrival_ns: float, source: int,
+               used: bool = False, promo_ns: float = 0.0) -> None:
+        """Install a line, evicting LRU if full."""
+        if line_addr in self._lines:
+            ent = self._lines[line_addr]
+            # Keep the earlier arrival; refresh LRU position.
+            ent.arrival_ns = min(ent.arrival_ns, arrival_ns)
+            ent.promo_ns = min(ent.promo_ns, promo_ns) if ent.promo_ns else promo_ns
+            self._lines.move_to_end(line_addr)
+            return
+        if len(self._lines) >= self.capacity:
+            _, evicted = self._lines.popitem(last=False)
+            self._account_eviction(evicted)
+        self._lines[line_addr] = _Line(arrival_ns, source, used, promo_ns)
+
+    def _account_eviction(self, ent: _Line) -> None:
+        if not ent.used:
+            if ent.source == HWPF:
+                self.counters.hwpf_useless += 1
+            elif ent.source == SWPF:
+                self.counters.swpf_useless += 1
+
+    def drain(self) -> None:
+        """End-of-run flush: account never-used prefetches as useless."""
+        while self._lines:
+            _, ent = self._lines.popitem(last=False)
+            self._account_eviction(ent)

@@ -1,0 +1,117 @@
+"""PMU-style event counters.
+
+These mirror the hardware events the paper samples with ``perf``:
+L3-miss stall cycles, useless L2 hardware prefetches (event 0xf2),
+prefetch issue counts, plus the three read-traffic layers of Fig. 19
+(application bytes, controller 64 B transfers, PM-media 256 B fills).
+
+DIALGA's coordinator consumes *deltas* between snapshots, exactly like
+a 1 kHz PMU sampler (see :class:`CounterSampler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Counters:
+    """Aggregate event counts for one simulation (or one thread)."""
+
+    # Demand-side events
+    loads: int = 0
+    load_cache_hits: int = 0          # served by L1/L2 (prefetched in time)
+    load_late_prefetch: int = 0       # prefetch in flight, partial stall
+    load_misses: int = 0              # full memory-latency demand misses
+    stores: int = 0
+    # Stall accounting (ns, not cycles: convert with cpu.freq)
+    load_stall_ns: float = 0.0        # demand stall beyond cache-hit latency
+    store_stall_ns: float = 0.0
+    compute_ns: float = 0.0
+    # Hardware prefetcher (PMU 0xf2 analogues)
+    hwpf_issued: int = 0
+    hwpf_useful: int = 0
+    hwpf_useless: int = 0             # evicted/never demanded or late
+    streams_allocated: int = 0
+    streams_evicted_untrained: int = 0
+    # Software prefetcher
+    swpf_issued: int = 0
+    swpf_late: int = 0
+    swpf_useless: int = 0
+    # Traffic layers (bytes) — Fig. 19
+    app_read_bytes: int = 0           # what the kernel actually loads
+    ctrl_read_bytes: int = 0          # 64 B lines over the memory bus
+    media_read_bytes: int = 0         # 256 B XPLine fills from PM media
+    write_bytes: int = 0
+    # PM read buffer
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    buffer_evictions: int = 0
+    buffer_evictions_unused: int = 0  # thrash: filled but never re-read
+
+    def snapshot(self) -> "Counters":
+        """Copy of the current values (for delta computation)."""
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, since: "Counters") -> "Counters":
+        """Event counts accumulated since ``since``."""
+        return Counters(**{
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in fields(self)
+        })
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another counter set into this one (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    # -- derived metrics -------------------------------------------------
+
+    @property
+    def useless_hwpf_ratio(self) -> float:
+        """Useless fraction of issued hardware prefetches (0 if none)."""
+        return self.hwpf_useless / self.hwpf_issued if self.hwpf_issued else 0.0
+
+    @property
+    def hwpf_per_load(self) -> float:
+        """L2 prefetch ratio: hardware prefetches per demand load."""
+        return self.hwpf_issued / self.loads if self.loads else 0.0
+
+    @property
+    def avg_load_latency_ns(self) -> float:
+        """Mean demand-load latency component beyond the cache hit."""
+        return self.load_stall_ns / self.loads if self.loads else 0.0
+
+    @property
+    def media_read_amplification(self) -> float:
+        """PM media bytes read per application byte read (Fig. 6/19)."""
+        return self.media_read_bytes / self.app_read_bytes if self.app_read_bytes else 0.0
+
+    @property
+    def ctrl_read_amplification(self) -> float:
+        """Controller-layer bytes per application byte (Fig. 19)."""
+        return self.ctrl_read_bytes / self.app_read_bytes if self.app_read_bytes else 0.0
+
+
+class CounterSampler:
+    """Fixed-interval sampler over a live :class:`Counters` object.
+
+    Models the paper's 1 kHz PMU sampling: the coordinator calls
+    :meth:`maybe_sample` with the current simulated time; when at least
+    one period elapsed, a delta since the previous sample is returned.
+    """
+
+    def __init__(self, counters: Counters, period_ns: float = 1_000_000.0):
+        self.counters = counters
+        self.period_ns = period_ns
+        self._last_time = 0.0
+        self._last_snap = counters.snapshot()
+
+    def maybe_sample(self, now_ns: float) -> Counters | None:
+        """Return a delta sample if a period has elapsed, else None."""
+        if now_ns - self._last_time < self.period_ns:
+            return None
+        delta = self.counters.delta(self._last_snap)
+        self._last_time = now_ns
+        self._last_snap = self.counters.snapshot()
+        return delta

@@ -1,0 +1,189 @@
+"""Single-thread trace execution with cycle/ns accounting.
+
+The core model is in-order with bounded memory-level parallelism:
+demand misses cost ``latency / mlp`` (the OOO window overlaps a few
+outstanding misses — fewer on PM, whose long latency exceeds the
+window) plus any bandwidth queueing, which is never discounted.
+Hardware prefetches triggered by an access are issued *asynchronously*:
+they record an arrival time in the cache; a later demand to that line
+pays only the residual wait (or nothing, if it already arrived). This
+is exactly the latency-hiding mechanism whose failure modes the paper
+studies.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.cache import CoreCache, DEMAND, HWPF, SWPF as SWPF_SRC
+from repro.simulator.counters import Counters
+from repro.simulator.params import HardwareConfig
+from repro.simulator.streamprefetcher import StreamPrefetcher
+from repro.trace.ops import LOAD, STORE, SWPF, COMPUTE, FENCE, Trace
+
+
+class ThreadContext:
+    """Execution state of one simulated thread (one core).
+
+    The caches and prefetcher are private (per-core); the memory
+    backends may be shared between contexts (see
+    :mod:`repro.simulator.multicore`).
+    """
+
+    def __init__(self, hw: HardwareConfig, counters: Counters,
+                 load_backend, store_backend,
+                 trace: Trace | None = None):
+        self.hw = hw
+        self.counters = counters
+        self.load_backend = load_backend
+        self.store_backend = store_backend
+        self.cache = CoreCache(hw.cache.capacity_lines, counters)
+        self.prefetcher = StreamPrefetcher(hw.prefetcher, counters)
+        self.clock = 0.0
+        self.trace = trace or Trace()
+        self.pc = 0
+        # hot-path constants
+        self._ns_per_cycle = hw.cpu.ns_per_cycle
+        self._hit_ns = hw.cache.hit_latency_ns
+        self._load_issue_ns = hw.cpu.load_issue_cycles * self._ns_per_cycle
+        self._store_issue_ns = hw.cpu.store_issue_cycles * self._ns_per_cycle
+        self._swpf_issue_ns = hw.cpu.swpf_issue_cycles * self._ns_per_cycle
+        #: Software prefetches also train the hardware prefetcher
+        #: (their "training effect", §5.9).
+        self.swpf_trains_hwpf = True
+
+    @property
+    def done(self) -> bool:
+        """True when the whole trace has executed."""
+        return self.pc >= len(self.trace.ops)
+
+    # -- internals -------------------------------------------------------
+
+    def _issue_hw_prefetches(self, addr: int) -> None:
+        for target in self.prefetcher.on_access(addr):
+            qd, lat, dlat = self.load_backend.fill_line(
+                target, self.clock, demand=False)
+            self.cache.insert(target, self.clock + qd + lat, HWPF,
+                              promo_ns=dlat / self.load_backend.mlp)
+
+    def _do_load(self, addr: int) -> None:
+        c = self.counters
+        c.loads += 1
+        c.app_read_bytes += 64
+        now = self.clock + self._load_issue_ns
+        line = addr & ~63
+        ent = self.cache.lookup(line)
+        if ent is not None:
+            ent.used = True
+            if ent.arrival_ns <= now:
+                c.load_cache_hits += 1
+                if ent.source == HWPF:
+                    c.hwpf_useful += 1
+                now += self._hit_ns
+            else:
+                # In-flight prefetch: the demand promotes the request to
+                # demand priority, so the wait is the smaller of the
+                # prefetch's remaining time and what the same fill would
+                # have cost at demand priority.
+                wait = min(ent.arrival_ns - now, ent.promo_ns)
+                c.load_late_prefetch += 1
+                c.load_stall_ns += wait
+                if ent.source == SWPF_SRC:
+                    c.swpf_late += 1
+                elif ent.source == HWPF:
+                    # Late hardware prefetch: mostly wasted (0xf2-ish).
+                    c.hwpf_useless += 1
+                now += wait + self._hit_ns
+        else:
+            qd, lat, _ = self.load_backend.fill_line(line, now, demand=True)
+            stall = qd + lat / self.load_backend.mlp
+            c.load_misses += 1
+            c.load_stall_ns += stall
+            now += stall + self._hit_ns
+            self.cache.insert(line, now, DEMAND, used=True)
+        self.clock = now
+        # The demand access trains the streamer *after* being served.
+        self._issue_hw_prefetches(line)
+
+    def _do_store(self, addr: int) -> None:
+        self.counters.stores += 1
+        now = self.clock + self._store_issue_ns
+        qd = self.store_backend.write_line(addr & ~63, now)
+        # Non-temporal stores are posted; only severe backpressure stalls.
+        backlog = self.store_backend.write_pipe.free_at - now
+        if backlog > 2000.0:  # ~WPQ depth worth of ns
+            stall = backlog - 2000.0
+            self.counters.store_stall_ns += stall
+            now += stall
+        self.clock = now
+
+    def _do_swpf(self, addr: int) -> None:
+        c = self.counters
+        c.swpf_issued += 1
+        now = self.clock + self._swpf_issue_ns
+        line = addr & ~63
+        if self.cache.lookup(line) is None:
+            qd, lat, dlat = self.load_backend.fill_line(line, now, demand=False)
+            self.cache.insert(line, now + qd + lat, SWPF_SRC,
+                              promo_ns=dlat / self.load_backend.mlp)
+        self.clock = now
+        if self.swpf_trains_hwpf:
+            self._issue_hw_prefetches(line)
+
+    # -- public stepping --------------------------------------------------
+
+    def step(self, max_ops: int) -> int:
+        """Execute up to ``max_ops`` ops; returns how many ran."""
+        ops = self.trace.ops
+        n = min(max_ops, len(ops) - self.pc)
+        counters = self.counters
+        for i in range(self.pc, self.pc + n):
+            op, arg = ops[i]
+            if op == LOAD:
+                self._do_load(int(arg))
+            elif op == COMPUTE:
+                ns = arg * self._ns_per_cycle * self.hw.cpu.simd_factor
+                counters.compute_ns += ns
+                self.clock += ns
+            elif op == STORE:
+                self._do_store(int(arg))
+            elif op == SWPF:
+                self._do_swpf(int(arg))
+            elif op == FENCE:
+                self.clock = self.store_backend.drain_writes(self.clock)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown opcode {op}")
+        self.pc += n
+        return n
+
+    def run(self) -> float:
+        """Execute the entire trace; returns the finish time (ns)."""
+        while not self.done:
+            self.step(1 << 30)
+        return self.clock
+
+
+def run_single(trace: Trace, hw: HardwareConfig) -> tuple[float, Counters]:
+    """Convenience: execute one trace on a fresh private testbed.
+
+    Returns ``(finish_time_ns, counters)``. The load/store backends are
+    chosen per ``hw.load_source`` / ``hw.store_target``.
+    """
+    from repro.simulator.memory import DRAMBackend, PMBackend
+
+    counters = Counters()
+    backends = {}
+
+    def backend_for(kind: str):
+        if kind not in backends:
+            backends[kind] = (
+                PMBackend(hw.pm, counters) if kind == "pm"
+                else DRAMBackend(hw.dram, counters)
+            )
+        return backends[kind]
+
+    ctx = ThreadContext(hw, counters,
+                        load_backend=backend_for(hw.load_source),
+                        store_backend=backend_for(hw.store_target),
+                        trace=trace)
+    finish = ctx.run()
+    ctx.cache.drain()
+    return finish, counters

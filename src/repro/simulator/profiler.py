@@ -1,0 +1,68 @@
+"""A ``perf stat``-style report over a simulation.
+
+The paper profiles its workloads with Linux ``perf`` (PMU sampling);
+this module renders the simulator's counters the same way, so examples
+and debugging sessions read like the methodology section. Rates are
+derived, never stored — the single source of truth is
+:class:`~repro.simulator.counters.Counters`.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.multicore import SimResult
+from repro.simulator.params import HardwareConfig
+
+
+def perf_report(result: SimResult, hw: HardwareConfig | None = None,
+                title: str = "simulation") -> str:
+    """Render a perf-stat-like text block for a finished simulation."""
+    c = result.counters
+    hw = hw or HardwareConfig()
+    ms = result.makespan_ns / 1e6
+    cycles = result.makespan_ns * hw.cpu.freq_ghz
+
+    def row(value, label, extra=""):
+        return f"  {value:>16,.0f}  {label:<32} {extra}"
+
+    def pct(part, whole):
+        return f"({part / whole:.1%})" if whole else ""
+
+    lines = [
+        f"Performance counter stats for '{title}':",
+        "",
+        row(cycles, "cycles", f"# {hw.cpu.freq_ghz:.1f} GHz"),
+        row(c.compute_ns * hw.cpu.freq_ghz, "compute cycles",
+            pct(c.compute_ns, result.makespan_ns)),
+        row(c.load_stall_ns * hw.cpu.freq_ghz, "memory stall cycles",
+            pct(c.load_stall_ns, result.makespan_ns * max(1, len(result.thread_times_ns)))),
+        "",
+        row(c.loads, "loads",
+            f"# {c.avg_load_latency_ns:.1f} ns avg stall"),
+        row(c.load_cache_hits, "  served by L1/L2", pct(c.load_cache_hits, c.loads)),
+        row(c.load_late_prefetch, "  late prefetch (partial stall)",
+            pct(c.load_late_prefetch, c.loads)),
+        row(c.load_misses, "  demand misses", pct(c.load_misses, c.loads)),
+        row(c.stores, "stores (non-temporal)"),
+        "",
+        row(c.hwpf_issued, "hw prefetches issued",
+            f"# {c.hwpf_per_load:.2f} per load"),
+        row(c.hwpf_useful, "  useful", pct(c.hwpf_useful, c.hwpf_issued)),
+        row(c.hwpf_useless, "  useless (0xf2)",
+            pct(c.hwpf_useless, c.hwpf_issued)),
+        row(c.swpf_issued, "sw prefetches issued"),
+        row(c.swpf_late, "  late", pct(c.swpf_late, c.swpf_issued)),
+        "",
+        row(c.app_read_bytes, "app bytes read"),
+        row(c.ctrl_read_bytes, "controller bytes read",
+            f"# x{c.ctrl_read_amplification:.2f}"),
+        row(c.media_read_bytes, "PM media bytes read",
+            f"# x{c.media_read_amplification:.2f}"),
+        row(c.buffer_hits, "read-buffer hits",
+            pct(c.buffer_hits, c.buffer_hits + c.buffer_misses)),
+        row(c.buffer_evictions_unused, "read-buffer thrash evictions",
+            pct(c.buffer_evictions_unused, max(1, c.buffer_evictions))),
+        "",
+        f"  {ms:.3f} ms simulated  "
+        f"({result.throughput_gbps:.2f} GB/s over {len(result.thread_times_ns)} thread(s))",
+    ]
+    return "\n".join(lines)

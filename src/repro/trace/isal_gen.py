@@ -1,0 +1,265 @@
+"""ISA-L-pattern trace generation, including DIALGA's operator variants.
+
+The baseline schedule mirrors ``ec_encode_data``'s kernel: for every
+64 B row position it loads that line from each of the k source blocks,
+multiply-accumulates into m parity registers, and writes the m parity
+lines with non-temporal stores; a fence ends the stripe. Variants:
+
+* ``sw_prefetch_distance=d`` — pipelined software prefetch: while
+  handling sequence element N, prefetch element N+d (§4.1.2/§4.2.2).
+  Tail elements revert to the plain kernel (no out-of-range prefetch).
+* ``bf_first_line_distance`` — read-buffer-friendly non-uniform
+  distances: targets that are the *first line of an XPLine* are
+  prefetched from further back (§4.3.2).
+* ``shuffle=True`` — static shuffle mapping of the row order; breaks
+  the L2 streamer's sequential-pattern detection, i.e. a fine-grained
+  hardware-prefetcher *off* switch (§4.2.2). Software prefetch targets
+  follow the shuffled order, as in the paper.
+* ``xpline_granularity=True`` — expand the loop task to 256 B: consume
+  all four lines of an XPLine back-to-back so the implicit media load
+  is used before eviction (§4.3.3); software prefetch then touches only
+  the first line per XPLine and lets the read buffer serve the rest.
+* ``decompose_group=g`` — ISA-L-D / Cerasure wide-stripe decomposition:
+  multiple narrow passes with parity reload between passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.simulator.params import CPUConfig
+from repro.trace.layout import StripeLayout, LINE
+from repro.trace.ops import LOAD, STORE, SWPF, COMPUTE, FENCE, Trace
+from repro.trace.workload import Workload
+
+#: Lines per XPLine (256 B / 64 B).
+XP_LINES = 4
+
+
+@dataclass(frozen=True)
+class IsalVariant:
+    """Kernel-variant selection (DIALGA entry points, §4.1.2)."""
+
+    sw_prefetch_distance: int | None = None
+    bf_first_line_distance: int | None = None
+    shuffle: bool = False
+    xpline_granularity: bool = False
+    decompose_group: int | None = None
+
+    def with_(self, **kwargs) -> "IsalVariant":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
+
+
+def _row_order(lines: int, shuffle: bool) -> list[int]:
+    """Row processing order; the shuffle is a *static* mapping.
+
+    The shuffled order must defeat a head-tracking streamer in both
+    directions: it opens at the block's *top* line (pinning the
+    ascending head, so every later access is a neutral behind-head
+    touch) and then descends by a stride >= 3 (so neither consecutive
+    accesses nor the descending envelope ever step within the +-2
+    sequential window). Constructively:
+
+        sigma(i) = (lines - 1) - (i * stride mod lines),
+        gcd(stride, lines) = 1,  3 <= stride <= lines - 3
+    """
+    if not shuffle or lines <= 2:
+        return list(range(lines))
+    if lines <= 6:
+        return list(range(lines - 1, -1, -1))
+    stride = 5
+    while np.gcd(stride, lines) != 1 or lines - stride < 3:
+        stride += 2
+    return [(lines - 1) - ((i * stride) % lines) for i in range(lines)]
+
+
+def _per_line_compute_cycles(wl: Workload, cpu: CPUConfig) -> float:
+    """Kernel cycles to process one 64 B line of one source block."""
+    m_eff = wl.erasures if wl.op == "decode" else wl.m
+    cycles = m_eff * cpu.gf_cycles_per_parity_line + cpu.loop_overhead_cycles
+    if wl.lrc_l is not None:
+        # Local XOR parity: one extra XOR fold per data line.
+        cycles += cpu.xor_cycles_per_line
+    return cycles
+
+
+def isal_trace(wl: Workload, cpu: CPUConfig,
+               variant: IsalVariant = IsalVariant(),
+               thread: int = 0, stripe_offset: int = 0) -> Trace:
+    """Generate one thread's trace for the ISA-L pattern (+variants).
+
+    ``stripe_offset`` shifts the stripe index range (the adaptive
+    coordinator generates chunks incrementally; each chunk must touch
+    fresh addresses).
+    """
+    if variant.decompose_group is not None:
+        return _decomposed_trace(wl, cpu, variant, thread, stripe_offset)
+    m_eff = wl.erasures if wl.op == "decode" else wl.m
+    extra = wl.lrc_l or 0
+    layout = StripeLayout(wl.k, wl.m, wl.block_bytes, thread=thread,
+                          extra_blocks=extra)
+    L = layout.lines_per_block
+    k = wl.k
+    per_line = _per_line_compute_cycles(wl, cpu)
+    order = _row_order(L, variant.shuffle)
+    trace = Trace()
+    ops = trace.ops
+    stripes = wl.stripes_per_thread
+
+    srange = range(stripe_offset, stripe_offset + stripes)
+    if variant.xpline_granularity:
+        _emit_xpline_stripes(wl, layout, order, per_line, variant, ops, srange)
+    else:
+        _emit_rowmajor_stripes(wl, layout, order, per_line, variant, ops, srange)
+
+    trace.data_bytes = stripes * wl.stripe_data_bytes
+    return trace
+
+
+
+def _source_blocks(wl: Workload) -> list[int]:
+    """Stripe-global block ids the kernel loads, in stream order.
+
+    Encode reads the k data blocks. Decode reads k *correct* blocks —
+    the paper's §4.1.2: with the first ``erasures`` data blocks lost
+    (the canonical pattern), that is the surviving data plus the first
+    ``erasures`` parity blocks. The memory pattern is identical either
+    way: k sequential streams.
+    """
+    if wl.op == "decode":
+        return list(range(wl.erasures, wl.k)) + \
+            [wl.k + i for i in range(wl.erasures)]
+    return list(range(wl.k))
+
+
+def _dest_blocks(wl: Workload) -> list[int]:
+    """Stripe-global block ids the kernel stores (non-temporally)."""
+    if wl.op == "decode":
+        return list(range(wl.erasures))       # the rebuilt data blocks
+    out = [wl.k + i for i in range(wl.m)]
+    out += [wl.k + wl.m + i for i in range(wl.lrc_l or 0)]
+    return out
+
+
+def _emit_rowmajor_stripes(wl, layout, order, per_line, variant, ops, srange):
+    k = wl.k
+    sources = _source_blocks(wl)
+    dests = _dest_blocks(wl)
+    L = len(order)
+    total = L * k
+    d = variant.sw_prefetch_distance
+    d_first = variant.bf_first_line_distance
+
+    def elem_addr(stripe, n):
+        rp, j = divmod(n, k)
+        return layout.line_addr(stripe, sources[j], order[rp])
+
+    for s in srange:
+        for rp, r in enumerate(order):
+            base_n = rp * k
+            for j in range(k):
+                n = base_n + j
+                if d is not None:
+                    t = n + d
+                    if t < total:
+                        addr = elem_addr(s, t)
+                        is_first = (addr // LINE) % XP_LINES == 0
+                        if d_first is None or not is_first:
+                            ops.append((SWPF, addr))
+                    if d_first is not None:
+                        t2 = n + d_first
+                        if t2 < total:
+                            addr2 = elem_addr(s, t2)
+                            if (addr2 // LINE) % XP_LINES == 0:
+                                ops.append((SWPF, addr2))
+                ops.append((LOAD, layout.line_addr(s, sources[j], r)))
+            ops.append((COMPUTE, per_line * k))
+            for dest in dests:
+                ops.append((STORE, layout.line_addr(s, dest, r)))
+        ops.append((FENCE, 0))
+
+
+def _emit_xpline_stripes(wl, layout, order, per_line, variant, ops, srange):
+    """256 B-granularity loop expansion (§4.3.3).
+
+    The element sequence becomes (XPLine-group, block); all lines of a
+    group are consumed back-to-back so the implicit media load is used
+    before eviction. Software prefetch touches only the first line per
+    future group — the read buffer serves the remaining lines.
+    """
+    k = wl.k
+    sources = _source_blocks(wl)
+    dests = _dest_blocks(wl)
+    L = layout.lines_per_block
+    groups = [list(range(g, min(g + XP_LINES, L))) for g in range(0, L, XP_LINES)]
+    ngroups = len(groups)
+    # Reuse the (possibly shuffled) order at group granularity.
+    gorder = _row_order(ngroups, variant.shuffle)
+    d = variant.sw_prefetch_distance
+    # d is expressed in row-major sequence elements (lines); one group
+    # step spans XP_LINES rows, so convert to whole groups.
+    dg = max(1, round(d / (XP_LINES * k))) if d is not None else None
+    total = ngroups * k
+
+    for s in srange:
+        for gp in range(ngroups):
+            g = gorder[gp]
+            lines = groups[g]
+            for j in range(k):
+                n = gp * k + j
+                if dg is not None:
+                    t = n + dg * k  # same block, dg groups ahead
+                    if t < total:
+                        t_gp, t_j = divmod(t, k)
+                        ops.append((SWPF, layout.line_addr(
+                            s, sources[t_j], groups[gorder[t_gp]][0])))
+                for r in lines:
+                    ops.append((LOAD, layout.line_addr(s, sources[j], r)))
+                ops.append((COMPUTE, per_line * len(lines)))
+            for r in lines:
+                for dest in dests:
+                    ops.append((STORE, layout.line_addr(s, dest, r)))
+        ops.append((FENCE, 0))
+
+
+def _decomposed_trace(wl: Workload, cpu: CPUConfig,
+                      variant: IsalVariant, thread: int,
+                      stripe_offset: int = 0) -> Trace:
+    """Wide-stripe decomposition: narrow passes with parity reload.
+
+    Pass p loads its group's data lines plus (for p > 0) the partial
+    parity written by pass p-1 — the "parity reloading" and amplified
+    write traffic the paper attributes to the decompose strategy.
+    """
+    g = variant.decompose_group
+    if g is None or g < 1:
+        raise ValueError("decompose_group must be a positive int")
+    layout = StripeLayout(wl.k, wl.m, wl.block_bytes, thread=thread,
+                          extra_blocks=wl.lrc_l or 0)
+    L = layout.lines_per_block
+    per_line = _per_line_compute_cycles(wl, cpu)
+    sources = _source_blocks(wl)
+    dests = _dest_blocks(wl)
+    groups = [sources[c:c + g] for c in range(0, wl.k, g)]
+    trace = Trace()
+    ops = trace.ops
+    order = _row_order(L, variant.shuffle)
+    for s in range(stripe_offset, stripe_offset + wl.stripes_per_thread):
+        for p, cols in enumerate(groups):
+            for r in order:
+                for j in cols:
+                    ops.append((LOAD, layout.line_addr(s, j, r)))
+                if p:
+                    # Reload the partial result written by the last pass.
+                    for dest in dests[:wl.erasures if wl.op == "decode" else wl.m]:
+                        ops.append((LOAD, layout.line_addr(s, dest, r)))
+                ops.append((COMPUTE, per_line * len(cols)))
+                for dest in dests:
+                    if p == len(groups) - 1 or dest < wl.k + wl.m:
+                        ops.append((STORE, layout.line_addr(s, dest, r)))
+        ops.append((FENCE, 0))
+    trace.data_bytes = wl.stripes_per_thread * wl.stripe_data_bytes
+    return trace

@@ -1,0 +1,66 @@
+"""Trace op encoding.
+
+Ops are plain ``(opcode, arg)`` tuples for speed in the simulator's
+inner loop:
+
+========  =======================================================
+opcode    arg
+========  =======================================================
+LOAD      byte address (64 B-aligned) of a demand load
+STORE     byte address of a 64 B non-temporal store
+SWPF      byte address targeted by a software prefetch
+COMPUTE   CPU cycles of computation (float)
+FENCE     unused (0) — drain posted stores (``sfence``)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LOAD = 0
+STORE = 1
+SWPF = 2
+COMPUTE = 3
+FENCE = 4
+
+_NAMES = {LOAD: "LOAD", STORE: "STORE", SWPF: "SWPF",
+          COMPUTE: "COMPUTE", FENCE: "FENCE"}
+
+
+def op_name(opcode: int) -> str:
+    """Human-readable op name (for debugging/reporting)."""
+    return _NAMES.get(opcode, f"op{opcode}")
+
+
+@dataclass
+class Trace:
+    """One thread's op stream plus throughput metadata.
+
+    Attributes
+    ----------
+    ops:
+        The ``(opcode, arg)`` list.
+    data_bytes:
+        Application data bytes this trace encodes/decodes — the
+        numerator of the throughput the paper reports.
+    """
+
+    ops: list[tuple[int, float]] = field(default_factory=list)
+    data_bytes: int = 0
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def extend(self, other: "Trace") -> None:
+        """Append another trace (accumulating data bytes)."""
+        self.ops.extend(other.ops)
+        self.data_bytes += other.data_bytes
+
+    def counts(self) -> dict[str, int]:
+        """Op histogram, keyed by op name."""
+        out: dict[str, int] = {}
+        for op, _ in self.ops:
+            name = op_name(op)
+            out[name] = out.get(name, 0) + 1
+        return out

@@ -1,0 +1,74 @@
+"""Workload descriptors for experiments.
+
+A :class:`Workload` captures the paper's experimental axes: code
+geometry (k, m, optionally LRC's l), block size, thread count, SIMD
+width, operation (encode/decode) and the data volume each thread
+processes. Library facades turn a workload into per-thread traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One experimental configuration.
+
+    Attributes
+    ----------
+    k, m:
+        RS geometry: k data blocks, m parity blocks per stripe.
+    block_bytes:
+        Block size (paper default: 1 KB).
+    nthreads:
+        Concurrent encoding threads (paper default: 1).
+    data_bytes_per_thread:
+        Application data each thread processes; the simulator needs
+        enough stripes to reach steady state, not the paper's full 1 GB.
+    op:
+        ``"encode"`` or ``"decode"``.
+    erasures:
+        For decode: how many blocks are being rebuilt (<= m).
+    lrc_l:
+        If not None, encode LRC(k, m, l) instead of RS.
+    simd:
+        ``"avx512"`` (default) or ``"avx256"``.
+    """
+
+    k: int
+    m: int = 4
+    block_bytes: int = 1024
+    nthreads: int = 1
+    data_bytes_per_thread: int = 1 << 20
+    op: str = "encode"
+    erasures: int = 0
+    lrc_l: int | None = None
+    simd: str = "avx512"
+
+    def __post_init__(self):
+        if self.k < 1 or self.m < 0:
+            raise ValueError(f"bad geometry k={self.k} m={self.m}")
+        if self.op not in ("encode", "decode"):
+            raise ValueError(f"unknown op {self.op!r}")
+        if self.op == "decode" and not 1 <= self.erasures <= min(self.m, self.k):
+            raise ValueError("decode needs 1 <= erasures <= min(m, k) "
+                             "(the canonical erased blocks are data blocks)")
+        if self.lrc_l is not None and (self.k % self.lrc_l):
+            raise ValueError("LRC needs l | k")
+        if self.simd not in ("avx512", "avx256"):
+            raise ValueError(f"unknown SIMD {self.simd!r}")
+
+    @property
+    def stripe_data_bytes(self) -> int:
+        """Application data per stripe."""
+        return self.k * self.block_bytes
+
+    @property
+    def stripes_per_thread(self) -> int:
+        """Whole stripes each thread processes (at least 1)."""
+        return max(1, self.data_bytes_per_thread // self.stripe_data_bytes)
+
+    def with_(self, **kwargs) -> "Workload":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)

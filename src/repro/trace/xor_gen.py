@@ -1,0 +1,120 @@
+"""Trace generation for XOR-schedule (bitmatrix) codes.
+
+Zerasure/Cerasure execute an XOR program over bit-sliced *packets*
+(block_bytes / w bytes each). The memory signature differs from ISA-L
+in exactly the ways the paper highlights (§2.2, §5.2): source packets
+are re-read once per use (multiple ones per bitmatrix column), the
+access order follows the schedule rather than a sequential sweep (so
+the L2 streamer rarely trains), and the compute is XOR-only AVX256.
+
+Parity and temporary packets are held as in-cache accumulators; parity
+packets are flushed with non-temporal stores at the end of each stripe.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.params import CPUConfig
+from repro.trace.layout import StripeLayout, LINE
+from repro.trace.ops import LOAD, STORE, COMPUTE, FENCE, Trace
+from repro.trace.workload import Workload
+from repro.xorsched.schedule import XorSchedule
+
+
+def xor_schedule_trace(wl: Workload, cpu: CPUConfig, schedule: XorSchedule,
+                       thread: int = 0) -> Trace:
+    """Generate one thread's trace for an XOR program.
+
+    ``schedule`` operates on packet ids; data packets map to addresses
+    inside the stripe layout, while parity/temp packets are cache-
+    resident accumulators (no load traffic until the final flush).
+    """
+    w = schedule.w
+    k, m = schedule.k, schedule.m
+    if (k, m) != (wl.k, wl.m):
+        raise ValueError(
+            f"schedule geometry ({k},{m}) != workload ({wl.k},{wl.m})")
+    layout = StripeLayout(wl.k, wl.m, wl.block_bytes, thread=thread)
+    if wl.block_bytes < w:
+        raise ValueError(f"block must be >= w={w} bytes for bitmatrix codes")
+    # Packet p of block j occupies bytes [p*pkt, (p+1)*pkt) of the block;
+    # sub-line packets share cachelines (the loads then mostly hit L2).
+    pkt_bytes = wl.block_bytes // w
+    packet_lines = [
+        range(p * pkt_bytes // LINE, (p * pkt_bytes + pkt_bytes - 1) // LINE + 1)
+        for p in range(w)
+    ]
+    lines_per_packet = max(1, pkt_bytes // LINE)
+
+    kw = k * w
+    xor_c = cpu.xor_cycles_per_line
+    ovh = cpu.loop_overhead_cycles
+    trace = Trace()
+    ops = trace.ops
+    stripes = wl.stripes_per_thread
+    sched_ops = schedule.ops
+    for s in range(stripes):
+        for op, dst, src in sched_ops:
+            if src < kw:
+                j, p = divmod(src, w)
+                base = layout.block_addr(s, j)
+                for l in packet_lines[p]:
+                    ops.append((LOAD, base + l * LINE))
+            # dst (parity/temp) stays register/cache resident.
+            ops.append((COMPUTE, (xor_c * lines_per_packet) + ovh))
+        # Flush parity packets with NT stores.
+        for i in range(m):
+            base = layout.block_addr(s, k + i)
+            for l in range(layout.lines_per_block):
+                ops.append((STORE, base + l * LINE))
+        ops.append((FENCE, 0))
+    trace.data_bytes = stripes * wl.stripe_data_bytes
+    return trace
+
+
+def xor_decomposed_trace(wl: Workload, cpu: CPUConfig,
+                         group_schedules: list[tuple[XorSchedule, list[int]]],
+                         thread: int = 0) -> Trace:
+    """Decomposed XOR encoding (Cerasure's wide-stripe strategy).
+
+    Each ``(schedule, cols)`` pair is one narrow pass over the listed
+    source columns; passes after the first reload the partial parity
+    (extra load traffic) and every pass rewrites it (amplified write
+    traffic) — the decompose costs the paper quantifies in §5.2/§5.7.
+    """
+    layout = StripeLayout(wl.k, wl.m, wl.block_bytes, thread=thread)
+    L = layout.lines_per_block
+    xor_c = cpu.xor_cycles_per_line
+    ovh = cpu.loop_overhead_cycles
+    trace = Trace()
+    ops = trace.ops
+    for s in range(wl.stripes_per_thread):
+        for p, (sched, cols) in enumerate(group_schedules):
+            w = sched.w
+            if sched.m != wl.m or sched.k != len(cols):
+                raise ValueError("group schedule geometry mismatch")
+            pkt_bytes = wl.block_bytes // w
+            packet_lines = [
+                range(q * pkt_bytes // LINE,
+                      (q * pkt_bytes + pkt_bytes - 1) // LINE + 1)
+                for q in range(w)
+            ]
+            if p:  # reload partial parity written by the previous pass
+                for i in range(wl.m):
+                    base = layout.block_addr(s, wl.k + i)
+                    for l in range(L):
+                        ops.append((LOAD, base + l * LINE))
+            kw = sched.k * w
+            for op, dst, src in sched.ops:
+                if src < kw:
+                    j, q = divmod(src, w)
+                    base = layout.block_addr(s, cols[j])
+                    for l in packet_lines[q]:
+                        ops.append((LOAD, base + l * LINE))
+                ops.append((COMPUTE, xor_c * max(1, pkt_bytes // LINE) + ovh))
+            for i in range(wl.m):
+                base = layout.block_addr(s, wl.k + i)
+                for l in range(L):
+                    ops.append((STORE, base + l * LINE))
+        ops.append((FENCE, 0))
+    trace.data_bytes = wl.stripes_per_thread * wl.stripe_data_bytes
+    return trace

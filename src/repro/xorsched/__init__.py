@@ -1,0 +1,40 @@
+"""XOR-schedule machinery for bitmatrix (CRS-style) erasure codes.
+
+This package implements the computational core of the paper's two
+XOR-based baselines:
+
+* **Zerasure** (Zhou & Tian, FAST'19) — simulated-annealing search over
+  Cauchy matrix point sets, plus XOR scheduling, to minimize XOR count.
+* **Cerasure** (Niu et al., ICCD'23) — greedy bitmatrix construction
+  with cache-friendly scheduling and wide-stripe *decomposition*.
+
+A schedule is an explicit list of copy/XOR operations on bit-sliced
+packets; executing it on real data must (and, per the tests, does)
+produce byte-identical parity to the table-lookup RS encoder.
+"""
+
+from repro.xorsched.schedule import (
+    XorSchedule,
+    naive_schedule,
+    bitslice,
+    unbitslice,
+    encode_bitmatrix,
+)
+from repro.xorsched.optimize import cse_optimize
+from repro.xorsched.anneal import anneal_cauchy_points, AnnealResult
+from repro.xorsched.greedy import greedy_cauchy_points
+from repro.xorsched.decompose import decompose_generator, encode_decomposed
+
+__all__ = [
+    "XorSchedule",
+    "naive_schedule",
+    "bitslice",
+    "unbitslice",
+    "encode_bitmatrix",
+    "cse_optimize",
+    "anneal_cauchy_points",
+    "AnnealResult",
+    "greedy_cauchy_points",
+    "decompose_generator",
+    "encode_decomposed",
+]

@@ -1,0 +1,70 @@
+"""Greedy Cauchy-matrix construction (the Cerasure strategy).
+
+Cerasure (Niu et al., ICCD'23) replaces Zerasure's global stochastic
+search with a cheap greedy pass: grow the data point set Y one column
+at a time, always picking the unused field element whose Cauchy column
+(against the fixed parity points X) adds the fewest bitmatrix ones,
+then apply row scaling. Deterministic, fast, and usually within a few
+percent of annealing — at the cost of a denser decode matrix (the
+effect Figure 14 of the paper measures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.arithmetic import GF
+from repro.gf.bitmatrix import element_bitmatrix
+from repro.matrix.cauchy import cauchy_matrix, optimize_cauchy_ones
+
+
+def greedy_cauchy_points(field: GF, k: int, m: int,
+                         candidate_limit: int | None = None) -> tuple[list[int], list[int], np.ndarray]:
+    """Greedily pick Cauchy points minimizing incremental bitmatrix ones.
+
+    Parameters
+    ----------
+    candidate_limit:
+        Optionally restrict the per-column candidate pool (Cerasure
+        bounds its search for very wide stripes). ``None`` = scan all
+        unused elements.
+
+    Returns
+    -------
+    (x_points, y_points, parity)
+        Parity is the row-scaled ``(m, k)`` GF matrix.
+    """
+    if k + m > field.order:
+        raise ValueError(f"k+m={k+m} exceeds field order")
+    ones = np.array(
+        [int(element_bitmatrix(field, e).sum()) for e in range(field.order)],
+        dtype=np.int64,
+    )
+    # Low-valued parity points keep their bitmatrices sparse; Y is then
+    # drawn greedily from everything else.
+    x = list(range(m))
+    y_pool = [e for e in range(field.order) if e not in set(x)]
+    y: list[int] = []
+    xs = np.array(x, dtype=field.dtype)
+    for _ in range(k):
+        pool = [e for e in y_pool if e not in y]
+        if candidate_limit is not None:
+            pool = pool[:candidate_limit]
+        best_e, best_cost = None, None
+        for e in pool:
+            col = field.inv(np.bitwise_xor(xs, field.dtype(e)))
+            # Normalize column by its first entry (free scaling).
+            d = int(col[0])
+            if d not in (0, 1):
+                col = field.div(col, d)
+            cost = int(ones[col].sum())
+            if best_cost is None or cost < best_cost:
+                best_e, best_cost = e, cost
+        y.append(best_e)
+    parity = cauchy_matrix(field, x, y)
+    for j in range(k):
+        d = int(parity[0, j])
+        if d not in (0, 1):
+            parity[:, j] = field.div(parity[:, j], d)
+    parity = optimize_cauchy_ones(field, parity)
+    return x, y, parity

@@ -1,0 +1,17 @@
+"""Test-suite configuration.
+
+Registers a deterministic hypothesis profile: simulation-backed
+properties have runtimes that vary with the drawn workload, so the
+default 200 ms deadline would flake; example counts stay moderate to
+keep the suite fast.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

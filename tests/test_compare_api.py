@@ -1,0 +1,40 @@
+"""Tests for the one-call comparison API."""
+
+import pytest
+
+from repro import Workload
+from repro.bench.compare import compare_libraries
+
+
+def _cmp(**kw):
+    base = dict(k=6, m=3, block_bytes=1024, data_bytes_per_thread=24 * 1024)
+    base.update(kw)
+    return compare_libraries(Workload(**base),
+                             include=("ISA-L", "DIALGA"))
+
+
+def test_winner_is_dialga_on_pm_smallblocks():
+    c = _cmp()
+    assert c.winner == "DIALGA"
+
+
+def test_speedup_table():
+    c = _cmp()
+    s = c.speedup_over("ISA-L")
+    assert s["ISA-L"] == pytest.approx(1.0)
+    assert s["DIALGA"] > 1.0
+    with pytest.raises(ValueError):
+        c.speedup_over("Zerasure")
+
+
+def test_str_contains_ranking():
+    out = str(_cmp())
+    assert "winner" in out and "GB/s" in out
+
+
+def test_unsupported_rendered():
+    c = compare_libraries(
+        Workload(k=48, m=4, block_bytes=1024, data_bytes_per_thread=48 * 1024),
+        include=("ISA-L", "Zerasure"))
+    assert "unsupported" in str(c)
+    assert c.results["Zerasure"] is None

@@ -1,0 +1,46 @@
+"""Smoke tests: the fast examples must run clean end to end.
+
+The slower scenario scripts (wide-stripe archive, KV store, adaptive
+demo) are exercised piecemeal by the integration tests; these two run
+whole as subprocesses so the documented entry points can never rot.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart_example():
+    out = _run("quickstart.py")
+    assert "repair OK" in out
+    assert "DIALGA policy" in out
+
+
+def test_fault_tolerance_drill_example():
+    out = _run("fault_tolerance_drill.py")
+    assert "24/24 objects bit-exact" in out
+    assert "unrepairable stripes none" in out
+
+
+@pytest.mark.parametrize("name", [
+    "pm_kv_store_protection.py",
+    "wide_stripe_archive.py",
+    "adaptive_tuning_demo.py",
+    "production_workloads_tour.py",
+])
+def test_other_examples_compile(name):
+    """The slower examples at least parse and import cleanly."""
+    src = (EXAMPLES / name).read_text()
+    compile(src, name, "exec")

@@ -1,0 +1,76 @@
+"""Unit-level tests of the figure experiments at tiny volumes.
+
+The benchmarks run the figures at full volume; these verify structure
+(rows, columns, check counts) and a few volume-independent facts fast
+enough for the unit suite.
+"""
+
+import pytest
+
+from repro.bench.ablations import ablation_shuffle
+from repro.bench.figures import (
+    ALL_FIGURES, fig03, fig04, fig06, fig15, fig17, fig18, fig19,
+)
+
+TINY = 24 * 1024
+
+
+def test_registry_covers_every_paper_figure():
+    assert sorted(ALL_FIGURES) == [
+        "fig03", "fig04", "fig05", "fig06", "fig07", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "fig19",
+    ]
+
+
+def test_fig03_structure():
+    r = fig03(volume=TINY)
+    assert [lab for lab, _ in r.rows] == [
+        "pm/pf=off", "pm/pf=on", "dram/pf=off", "dram/pf=on"]
+    assert len(r.checks) == 3
+    # volume-independent fact: DRAM beats PM
+    assert r.value("dram/pf=off", "throughput_gbps") \
+        > r.value("pm/pf=off", "throughput_gbps")
+
+
+def test_fig04_pm_flat_at_tiny_volume():
+    r = fig04(volume=TINY)
+    pm = r.series("pm_gbps")
+    assert pm[-1] < pm[0] * 1.3  # PM barely scales with frequency
+
+
+def test_fig06_amp_columns_present():
+    r = fig06(volume=TINY)
+    assert r.value("256B", "media_amp") == pytest.approx(1.0, abs=0.05)
+    assert r.value("4096B", "media_amp") == pytest.approx(1.0, abs=0.05)
+
+
+def test_fig15_avx256_always_slower():
+    r = fig15(volume=TINY)
+    for k in ("k=8", "k=24", "k=48"):
+        assert r.value(k, "ISA-L_avx256") < r.value(k, "ISA-L_avx512")
+        assert r.value(k, "DIALGA_avx256") < r.value(k, "DIALGA_avx512")
+
+
+def test_fig17_normalized_to_isal():
+    r = fig17(volume=TINY)
+    for lab, vals in r.rows:
+        assert vals["ISA-L"] == pytest.approx(1.0)
+        assert vals["DIALGA"] < 1.0
+
+
+def test_fig18_vanilla_is_slowest():
+    r = fig18(volume=TINY)
+    for lab, vals in r.rows:
+        assert vals["Vanilla"] == min(vals.values())
+
+
+def test_fig19_has_four_pressure_points():
+    r = fig19(volume=TINY)
+    assert [lab for lab, _ in r.rows] == [
+        "ISA-L/1t", "DIALGA/1t", "ISA-L/18t", "DIALGA/18t"]
+
+
+def test_ablation_shuffle_tiny():
+    r = ablation_shuffle(volume=TINY)
+    assert r.value("RS(28,24)", "shuffle_hwpf") == 0

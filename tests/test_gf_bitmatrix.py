@@ -1,0 +1,62 @@
+"""Unit tests for bitmatrix projection of GF elements."""
+
+import numpy as np
+import pytest
+
+from repro.gf import element_bitmatrix, matrix_to_bitmatrix, bitmatrix_xor_count, gf4, gf8
+
+
+def _bits(v, w):
+    return np.array([(v >> i) & 1 for i in range(w)], dtype=np.uint8)
+
+
+@pytest.mark.parametrize("field", [gf4, gf8], ids=["gf4", "gf8"])
+def test_bitmatrix_multiplies_like_field(field):
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        e = int(rng.integers(field.order))
+        v = int(rng.integers(field.order))
+        M = element_bitmatrix(field, e)
+        got = (M @ _bits(v, field.w)) % 2
+        assert np.array_equal(got, _bits(int(field.mul(e, v)), field.w))
+
+
+def test_bitmatrix_of_one_is_identity():
+    assert np.array_equal(element_bitmatrix(gf8, 1), np.eye(8, dtype=np.uint8))
+
+
+def test_bitmatrix_of_zero_is_zero():
+    assert not element_bitmatrix(gf8, 0).any()
+
+
+def test_bitmatrix_is_additive_homomorphism():
+    a, b = 23, 57
+    Ma = element_bitmatrix(gf8, a)
+    Mb = element_bitmatrix(gf8, b)
+    assert np.array_equal(Ma ^ Mb, element_bitmatrix(gf8, a ^ b))
+
+
+def test_bitmatrix_is_multiplicative_homomorphism():
+    a, b = 23, 57
+    Ma = element_bitmatrix(gf8, a)
+    Mb = element_bitmatrix(gf8, b)
+    prod = (Ma @ Mb) % 2
+    assert np.array_equal(prod, element_bitmatrix(gf8, int(gf8.mul(a, b))))
+
+
+def test_matrix_to_bitmatrix_shape_and_blocks():
+    A = np.array([[1, 2], [3, 4], [0, 1]], dtype=np.uint8)
+    B = matrix_to_bitmatrix(gf8, A)
+    assert B.shape == (24, 16)
+    assert np.array_equal(B[:8, :8], np.eye(8, dtype=np.uint8))
+    assert np.array_equal(B[:8, 8:16], element_bitmatrix(gf8, 2))
+    assert not B[16:24, :8].any()
+
+
+def test_bitmatrix_xor_count():
+    # identity: each row has 1 one -> 0 xors
+    assert bitmatrix_xor_count(np.eye(8, dtype=np.uint8)) == 0
+    M = np.ones((2, 4), dtype=np.uint8)
+    assert bitmatrix_xor_count(M) == 2 * 3
+    M[1] = 0
+    assert bitmatrix_xor_count(M) == 3

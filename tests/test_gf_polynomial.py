@@ -1,0 +1,78 @@
+"""Unit tests for GF polynomials."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GFPolynomial, gf8
+
+
+def test_eval_constant():
+    p = GFPolynomial(gf8, [7])
+    assert p(0) == 7
+    assert p(200) == 7
+
+
+def test_eval_linear():
+    # p(x) = 3x + 5
+    p = GFPolynomial(gf8, [5, 3])
+    for x in [0, 1, 2, 100]:
+        assert p(x) == gf8.add(gf8.mul(3, x), 5)
+
+
+def test_eval_vectorized_matches_scalar():
+    p = GFPolynomial(gf8, [1, 2, 3, 4])
+    xs = np.arange(32, dtype=np.uint8)
+    vec = p(xs)
+    assert np.array_equal(vec, np.array([p(int(x)) for x in xs], dtype=np.uint8))
+
+
+def test_trailing_zeros_trimmed():
+    p = GFPolynomial(gf8, [1, 2, 0, 0])
+    assert p.degree == 1
+
+
+def test_zero_polynomial_degree():
+    p = GFPolynomial(gf8, [0, 0])
+    assert p.degree == 0
+    assert p(5) == 0
+
+
+def test_addition_is_coefficientwise_xor():
+    a = GFPolynomial(gf8, [1, 2, 3])
+    b = GFPolynomial(gf8, [4, 5])
+    c = a + b
+    assert list(c.coeffs) == [1 ^ 4, 2 ^ 5, 3]
+
+
+def test_addition_cancels():
+    a = GFPolynomial(gf8, [1, 2, 3])
+    assert (a + a).degree == 0
+    assert (a + a)(9) == 0
+
+
+def test_multiplication_degree_and_eval():
+    a = GFPolynomial(gf8, [1, 1])       # x + 1
+    b = GFPolynomial(gf8, [2, 0, 1])    # x^2 + 2
+    c = a * b
+    assert c.degree == 3
+    for x in [0, 1, 7, 255]:
+        assert c(x) == gf8.mul(a(x), b(x))
+
+
+def test_from_roots():
+    roots = [3, 17, 99]
+    p = GFPolynomial.from_roots(gf8, roots)
+    assert p.degree == 3
+    for r in roots:
+        assert p(r) == 0
+    assert p(4) != 0
+    # Monic.
+    assert p.coeffs[-1] == 1
+
+
+def test_equality_and_hash():
+    a = GFPolynomial(gf8, [1, 2])
+    b = GFPolynomial(gf8, [1, 2, 0])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != GFPolynomial(gf8, [1, 3])

@@ -1,0 +1,89 @@
+"""Unit tests for GF table construction."""
+
+import numpy as np
+import pytest
+
+from repro.gf.tables import GFTables, PRIMITIVE_POLYNOMIALS, _carryless_mul_mod, get_tables
+
+
+@pytest.mark.parametrize("w", [4, 8, 16])
+def test_exp_log_roundtrip(w):
+    t = get_tables(w)
+    n = t.order - 1
+    for e in [1, 2, 3, t.order // 2, n]:
+        assert t.exp[t.log[e]] == e
+
+
+@pytest.mark.parametrize("w", [4, 8])
+def test_exp_covers_all_nonzero(w):
+    t = get_tables(w)
+    n = t.order - 1
+    assert sorted(int(v) for v in t.exp[:n]) == list(range(1, t.order))
+
+
+def test_exp_doubled_for_modless_lookup():
+    t = get_tables(8)
+    n = t.order - 1
+    assert np.array_equal(t.exp[:n], t.exp[n : 2 * n])
+
+
+@pytest.mark.parametrize("w", [4, 8, 16])
+def test_inverse_table(w):
+    t = get_tables(w)
+    # a * inv(a) == 1 for a sample of elements (all for small fields)
+    elems = range(1, t.order) if w <= 8 else [1, 2, 3, 255, 256, 65535, 40000]
+    for a in elems:
+        assert _carryless_mul_mod(a, int(t.inv[a]), t.poly, w) == 1
+
+
+def test_mul_table_matches_carryless_reference():
+    t = get_tables(8)
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        a, b = int(rng.integers(256)), int(rng.integers(256))
+        assert t.mul[a, b] == _carryless_mul_mod(a, b, t.poly, 8)
+
+
+def test_mul_table_zero_row_col():
+    t = get_tables(8)
+    assert not t.mul[0].any()
+    assert not t.mul[:, 0].any()
+
+
+def test_mul_table_absent_for_w16():
+    assert get_tables(16).mul is None
+
+
+def test_nonprimitive_poly_rejected():
+    # x^8 + 1 = (x+1)^8 is not primitive.
+    with pytest.raises(ValueError, match="not primitive"):
+        GFTables.build(8, 0x101)
+
+
+def test_unknown_width_needs_poly():
+    with pytest.raises(ValueError, match="no default"):
+        GFTables.build(5)
+
+
+def test_custom_poly_accepted():
+    # x^5 + x^2 + 1 is primitive for w=5.
+    t = GFTables.build(5, 0x25)
+    assert t.order == 32
+    assert t.exp[0] == 1
+
+
+def test_tables_memoized():
+    assert get_tables(8) is get_tables(8)
+
+
+def test_known_gf8_products():
+    # Reference vectors from the Rijndael/ISA-L 0x11d field.
+    t = get_tables(8)
+    assert t.mul[2, 2] == 4
+    assert t.mul[0x80, 2] == 0x1D
+    assert t.mul[0x53, t.inv[0x53]] == 0x01
+
+
+@pytest.mark.parametrize("w,poly", list(PRIMITIVE_POLYNOMIALS.items()))
+def test_default_polys_have_top_bit(w, poly):
+    assert poly >> w == 1

@@ -1,0 +1,52 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.plotting import ascii_chart
+from repro.bench.report import FigureResult
+
+
+def _fig(rows):
+    fig = FigureResult("f", "t", ["a", "b"])
+    for i, (a, b) in enumerate(rows):
+        fig.add_row(f"p{i}", a=a, b=b)
+    return fig
+
+
+def test_chart_contains_marks_and_legend():
+    out = ascii_chart(_fig([(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)]))
+    assert "o=a" in out and "x=b" in out
+    assert "o" in out.split("\n")[0] or "x" in out.split("\n")[0]
+
+
+def test_chart_scales_labels():
+    out = ascii_chart(_fig([(0.0, 10.0), (5.0, 20.0)]))
+    assert "20.00" in out and "0.00" in out
+
+
+def test_chart_handles_missing_values():
+    fig = FigureResult("f", "t", ["a"])
+    fig.add_row("p0", a=1.0)
+    fig.add_row("p1", a=None)
+    fig.add_row("p2", a=3.0)
+    grid_only = "\n".join(ascii_chart(fig).split("\n")[:-1])  # drop legend
+    assert grid_only.count("o") == 2
+
+
+def test_chart_flat_series():
+    out = ascii_chart(_fig([(1.0, 1.0), (1.0, 1.0)]))
+    assert "o" in out  # no division by zero
+
+
+def test_chart_empty():
+    assert "no numeric series" in ascii_chart(FigureResult("f", "t", ["a"]))
+
+
+def test_chart_single_point():
+    fig = FigureResult("f", "t", ["a"])
+    fig.add_row("only", a=2.5)
+    out = ascii_chart(fig)
+    assert "only" in out
+
+
+def test_chart_x_axis_labels():
+    out = ascii_chart(_fig([(0, 0), (1, 1), (2, 2)]))
+    assert "p0" in out and "p2" in out

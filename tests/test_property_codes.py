@@ -1,0 +1,116 @@
+"""Property-based tests: RS/LRC round-trips and schedule equivalence."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.codes import LRCCode, RSCode
+from repro.gf import gf8, matrix_to_bitmatrix
+from repro.xorsched import bitslice, cse_optimize, encode_bitmatrix, unbitslice
+
+
+@st.composite
+def rs_case(draw):
+    k = draw(st.integers(min_value=2, max_value=12))
+    m = draw(st.integers(min_value=1, max_value=4))
+    blen = draw(st.sampled_from([8, 16, 64]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    erase_count = draw(st.integers(min_value=1, max_value=m))
+    return k, m, blen, seed, erase_count
+
+
+@given(rs_case())
+@settings(max_examples=40, deadline=None)
+def test_rs_decode_recovers_any_erasure_pattern(case):
+    """Fundamental MDS property on random data and erasure patterns."""
+    k, m, blen, seed, erase_count = case
+    rng = np.random.default_rng(seed)
+    code = RSCode(k, m)
+    data = rng.integers(0, 256, (k, blen)).astype(np.uint8)
+    stripe = code.encode(data)
+    erased = sorted(rng.choice(k + m, size=erase_count, replace=False).tolist())
+    out = code.decode(stripe.erase(erased), erased)
+    blocks = stripe.blocks()
+    for e in erased:
+        assert np.array_equal(out[e], blocks[e])
+
+
+@given(rs_case())
+@settings(max_examples=25, deadline=None)
+def test_rs_update_parity_equals_reencode(case):
+    k, m, blen, seed, _ = case
+    rng = np.random.default_rng(seed)
+    code = RSCode(k, m)
+    data = rng.integers(0, 256, (k, blen)).astype(np.uint8)
+    parity = code.encode_blocks(data)
+    idx = int(rng.integers(k))
+    new_block = rng.integers(0, 256, blen).astype(np.uint8)
+    updated = code.update_parity(parity, idx, data[idx], new_block)
+    data[idx] = new_block
+    assert np.array_equal(updated, code.encode_blocks(data))
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_bitmatrix_schedule_equals_table_encode(seed, k, m):
+    """XOR-schedule execution is byte-identical to GF matmul."""
+    rng = np.random.default_rng(seed)
+    code = RSCode(k, m, matrix="cauchy")
+    data = rng.integers(0, 256, (k, 32)).astype(np.uint8)
+    bm = matrix_to_bitmatrix(gf8, code.parity_rows)
+    sched = cse_optimize(bm, k, m, 8)
+    assert np.array_equal(encode_bitmatrix(gf8, bm, data, schedule=sched),
+                          code.encode_blocks(data))
+
+
+@given(st.lists(st.integers(0, 255), min_size=8, max_size=256).filter(
+    lambda l: len(l) % 8 == 0))
+def test_bitslice_roundtrip(block):
+    arr = np.array(block, dtype=np.uint8)
+    assert np.array_equal(unbitslice(bitslice(arr)), arr)
+
+
+@st.composite
+def lrc_case(draw):
+    l = draw(st.integers(min_value=1, max_value=4))
+    group = draw(st.integers(min_value=1, max_value=4))
+    k = l * group
+    m = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return k, m, l, seed
+
+
+@given(lrc_case())
+@settings(max_examples=30, deadline=None)
+def test_lrc_single_erasure_always_locally_repairable(case):
+    k, m, l, seed = case
+    rng = np.random.default_rng(seed)
+    code = LRCCode(k, m, l)
+    data = rng.integers(0, 256, (k, 16)).astype(np.uint8)
+    gp, lp = code.encode(data)
+    blocks = {i: data[i] for i in range(k)}
+    blocks.update({k + i: gp[i] for i in range(m)})
+    blocks.update({k + m + i: lp[i] for i in range(l)})
+    victim = int(rng.integers(k))
+    avail = {i: b for i, b in blocks.items() if i != victim}
+    got = code.repair_local(code.group_of(victim), avail)
+    assert np.array_equal(got, data[victim])
+
+
+@given(lrc_case())
+@settings(max_examples=25, deadline=None)
+def test_lrc_decode_handles_m_erasures(case):
+    k, m, l, seed = case
+    rng = np.random.default_rng(seed)
+    code = LRCCode(k, m, l)
+    data = rng.integers(0, 256, (k, 16)).astype(np.uint8)
+    gp, lp = code.encode(data)
+    blocks = {i: data[i] for i in range(k)}
+    blocks.update({k + i: gp[i] for i in range(m)})
+    blocks.update({k + m + i: lp[i] for i in range(l)})
+    erased = sorted(rng.choice(k + m, size=m, replace=False).tolist())
+    avail = {i: b for i, b in blocks.items() if i not in erased}
+    out = code.decode(avail, erased)
+    for e in erased:
+        assert np.array_equal(out[e], blocks[e])

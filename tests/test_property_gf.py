@@ -1,0 +1,72 @@
+"""Property-based tests: GF(2^8) field axioms and table consistency."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gf import gf8, element_bitmatrix
+from repro.gf.tables import _carryless_mul_mod
+
+elem = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+@given(elem, elem)
+def test_mul_commutative(a, b):
+    assert gf8.mul(a, b) == gf8.mul(b, a)
+
+
+@given(elem, elem, elem)
+def test_mul_associative(a, b, c):
+    assert gf8.mul(gf8.mul(a, b), c) == gf8.mul(a, gf8.mul(b, c))
+
+
+@given(elem, elem, elem)
+def test_distributive(a, b, c):
+    left = gf8.mul(a, b ^ c)
+    right = gf8.mul(a, b) ^ gf8.mul(a, c)
+    assert left == right
+
+
+@given(elem)
+def test_additive_inverse_is_self(a):
+    assert gf8.add(a, a) == 0
+
+
+@given(nonzero)
+def test_multiplicative_inverse(a):
+    assert gf8.mul(a, gf8.inv(a)) == 1
+
+
+@given(elem, elem)
+def test_mul_matches_carryless_reference(a, b):
+    assert gf8.mul(a, b) == _carryless_mul_mod(a, b, gf8.tables.poly, 8)
+
+
+@given(nonzero, st.integers(min_value=0, max_value=600))
+def test_pow_matches_repeated_mul(a, e):
+    want = 1
+    for _ in range(e % 255):
+        want = int(gf8.mul(want, a))
+    # a^e == a^(e mod 255) for nonzero a (multiplicative order divides 255)
+    assert gf8.pow(a, e % 255) == want
+
+
+@given(st.lists(elem, min_size=1, max_size=64), nonzero)
+def test_mul_block_then_div_roundtrip(block, c):
+    arr = np.array(block, dtype=np.uint8)
+    prod = gf8.mul_block(c, arr)
+    assert np.array_equal(gf8.div(prod, c), arr)
+
+
+@given(elem, elem)
+def test_bitmatrix_respects_addition(a, b):
+    Ma, Mb = element_bitmatrix(gf8, a), element_bitmatrix(gf8, b)
+    assert np.array_equal(Ma ^ Mb, element_bitmatrix(gf8, a ^ b))
+
+
+@given(elem, elem)
+@settings(max_examples=50)
+def test_bitmatrix_respects_multiplication(a, b):
+    Ma, Mb = element_bitmatrix(gf8, a), element_bitmatrix(gf8, b)
+    assert np.array_equal((Ma @ Mb) % 2,
+                          element_bitmatrix(gf8, int(gf8.mul(a, b))))

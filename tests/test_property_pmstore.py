@@ -1,0 +1,90 @@
+"""Property-based tests: the store's reliability loop under fault storms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.pmstore import FaultInjector, PMStore, Scrubber
+
+
+@st.composite
+def store_and_faults(draw):
+    k = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=3))
+    nobjects = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    # faults per stripe kept within the repair budget m
+    faults_per_stripe = draw(st.integers(min_value=0, max_value=m))
+    return k, m, nobjects, seed, faults_per_stripe
+
+
+@given(store_and_faults())
+@settings(max_examples=25, deadline=None)
+def test_scrub_restores_everything_within_budget(case):
+    """Any mix of silent corruption and block loss, at most m per
+    stripe, must be fully repairable — and every object must read back
+    bit-exactly afterwards."""
+    k, m, nobjects, seed, per_stripe = case
+    rng = np.random.default_rng(seed)
+    store = PMStore(k, m, block_bytes=256)
+    originals = {}
+    for i in range(nobjects):
+        key = f"o{i}"
+        val = rng.integers(0, 256, int(rng.integers(1, 900)),
+                           dtype=np.uint8).tobytes()
+        store.put_sharded(key, val)
+        originals[key] = val
+    inj = FaultInjector(store, seed=seed)
+    total = k + store.parity_blocks
+    for sid in range(store.num_stripes):
+        victims = rng.choice(total, size=per_stripe, replace=False)
+        for b in victims:
+            if rng.random() < 0.5:
+                inj.bit_flip(stripe=sid, block=int(b))
+            else:
+                inj.block_loss(stripe=sid, block=int(b))
+    report = Scrubber(store).scrub()
+    assert not report.unrepairable_stripes
+    for key, val in originals.items():
+        assert store.get_sharded(key) == val
+    assert Scrubber(store).scrub().clean
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_overbudget_damage_is_reported_not_hidden(seed, k, m):
+    """More than m corrupt blocks in one stripe must surface as
+    unrepairable, never as silent wrong data."""
+    rng = np.random.default_rng(seed)
+    store = PMStore(k, m, block_bytes=256)
+    store.put("x", rng.integers(0, 256, 200, dtype=np.uint8).tobytes())
+    inj = FaultInjector(store, seed=seed)
+    victims = rng.choice(k + m, size=m + 1, replace=False)
+    for b in victims:
+        inj.bit_flip(stripe=0, block=int(b), nbits=2)
+    report = Scrubber(store).scrub()
+    assert report.unrepairable_stripes == [0]
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=15, deadline=None)
+def test_store_roundtrip_random_objects(seed):
+    rng = np.random.default_rng(seed)
+    store = PMStore(4, 2, block_bytes=512)
+    live = {}
+    for i in range(12):
+        action = rng.integers(3)
+        key = f"k{int(rng.integers(5))}"
+        if action == 0 or key not in live:
+            val = rng.integers(0, 256, int(rng.integers(0, 1500)),
+                               dtype=np.uint8).tobytes()
+            store.put_sharded(key, val)
+            live[key] = val
+        elif action == 1:
+            assert store.get_sharded(key) == live[key]
+        else:
+            store.delete(key)
+            del live[key]
+    for key, val in live.items():
+        assert store.get_sharded(key) == val

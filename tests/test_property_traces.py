@@ -1,0 +1,74 @@
+"""Property-based tests: every generated trace is structurally valid."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.params import CPUConfig
+from repro.trace import IsalVariant, Workload, isal_trace, validate_isal_trace
+
+CPU = CPUConfig()
+
+
+@st.composite
+def workload_and_variant(draw):
+    k = draw(st.integers(min_value=1, max_value=32))
+    m = draw(st.integers(min_value=1, max_value=4))
+    bs = draw(st.sampled_from([256, 512, 1024, 4096, 5120]))
+    stripes = draw(st.integers(min_value=1, max_value=3))
+    op = draw(st.sampled_from(["encode", "decode"]))
+    erasures = (draw(st.integers(min_value=1, max_value=min(m, k)))
+                if op == "decode" else 0)
+    lrc_l = None
+    if op == "encode" and draw(st.booleans()):
+        divisors = [l for l in range(1, k + 1) if k % l == 0]
+        lrc_l = draw(st.sampled_from(divisors))
+    wl = Workload(k=k, m=m, block_bytes=bs, op=op, erasures=erasures,
+                  lrc_l=lrc_l, data_bytes_per_thread=stripes * k * bs)
+    lines = max(1, bs // 64)
+    d = draw(st.one_of(st.none(),
+                       st.integers(min_value=1, max_value=lines * k)))
+    bf = None
+    if d is not None and draw(st.booleans()):
+        bf = draw(st.integers(min_value=d, max_value=2 * lines * k))
+    variant = IsalVariant(
+        sw_prefetch_distance=d,
+        bf_first_line_distance=bf,
+        shuffle=draw(st.booleans()),
+        xpline_granularity=draw(st.booleans()),
+    )
+    return wl, variant
+
+
+@given(workload_and_variant())
+@settings(max_examples=60, deadline=None)
+def test_every_generated_trace_is_valid(case):
+    """No (workload, variant) combination may produce coverage holes,
+    duplicate loads, misdirected stores or missing fences."""
+    wl, variant = case
+    trace = isal_trace(wl, CPU, variant)
+    stats = validate_isal_trace(trace, wl)
+    assert stats.duplicate_data_loads == 0
+
+
+@given(workload_and_variant(),
+       st.integers(min_value=0, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_stripe_offset_shifts_cleanly(case, offset):
+    wl, variant = case
+    trace = isal_trace(wl, CPU, variant, stripe_offset=offset)
+    validate_isal_trace(trace, wl, stripe_offset=offset)
+
+
+@given(st.integers(min_value=2, max_value=24),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_decompose_traces_always_valid(k, m, stripes):
+    wl = Workload(k=k, m=m, block_bytes=1024,
+                  data_bytes_per_thread=stripes * k * 1024)
+    group = max(1, k // 2)
+    trace = isal_trace(wl, CPU, IsalVariant(decompose_group=group))
+    stats = validate_isal_trace(trace, wl, reloads_allowed=True)
+    passes = -(-k // group)
+    # parity reloads: (passes - 1) * m * lines per stripe
+    expected_reloads = wl.stripes_per_thread * (passes - 1) * m * 16
+    assert stats.loads == stats.data_lines_covered + expected_reloads

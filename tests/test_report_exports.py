@@ -1,0 +1,47 @@
+"""Tests for FigureResult JSON/CSV exports and the CLI --json path."""
+
+import json
+
+from repro.bench.cli import main as cli_main
+from repro.bench.report import FigureResult
+
+
+def _fig():
+    fig = FigureResult("figZ", "export demo", ["x", "y"])
+    fig.add_row("a", x=1.5, y=None)
+    fig.add_row("b", x=2.5, y=3.0)
+    fig.check("c1", True, "d1")
+    fig.notes.append("n1")
+    return fig
+
+
+def test_to_dict_roundtrips_through_json():
+    d = json.loads(json.dumps(_fig().to_dict()))
+    assert d["fig_id"] == "figZ"
+    assert d["rows"][0] == {"point": "a", "x": 1.5, "y": None}
+    assert d["checks"][0]["passed"] is True
+    assert d["notes"] == ["n1"]
+
+
+def test_to_csv():
+    csv_text = _fig().to_csv()
+    lines = csv_text.strip().split("\n")
+    assert lines[0].strip() == "point,x,y"
+    assert lines[1].strip() == "a,1.5,"
+    assert lines[2].strip() == "b,2.5,3.0"
+
+
+def test_cli_json_output(tmp_path):
+    rc = cli_main(["ablation_shuffle", "--out", str(tmp_path),
+                   "--json", "--volume", "32768"])
+    assert rc == 0
+    data = json.loads((tmp_path / "ablation_shuffle.json").read_text())
+    assert data["fig_id"] == "ablation_shuffle"
+    assert all(c["passed"] for c in data["checks"])
+
+
+def test_cli_plot_flag(capsys):
+    rc = cli_main(["fig03", "--volume", "16384", "--plot"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "o=throughput_gbps" in out

@@ -1,0 +1,56 @@
+"""Unit tests for stripe/block layout helpers."""
+
+import numpy as np
+import pytest
+
+from repro.codes import Stripe, split_blocks, join_blocks
+
+
+def test_split_exact():
+    data = bytes(range(12))
+    blocks = split_blocks(data, 4)
+    assert blocks.shape == (4, 3)
+    assert blocks[1, 0] == 3
+
+
+def test_split_pads():
+    blocks = split_blocks(bytes(10), 4)
+    assert blocks.shape == (4, 3)
+
+
+def test_split_no_pad_raises():
+    with pytest.raises(ValueError):
+        split_blocks(bytes(10), 4, pad=False)
+
+
+def test_split_returns_view_when_possible():
+    arr = np.arange(12, dtype=np.uint8)
+    blocks = split_blocks(arr, 3)
+    assert blocks.base is not None  # a view, not a copy
+
+
+def test_join_roundtrip():
+    payload = bytes(range(100))
+    blocks = split_blocks(payload, 8)
+    assert join_blocks(blocks, length=100) == payload
+
+
+def test_stripe_properties():
+    s = Stripe(data=np.zeros((4, 16), np.uint8), parity=np.ones((2, 16), np.uint8))
+    assert (s.k, s.m, s.block_len) == (4, 2, 16)
+    assert s.blocks().shape == (6, 16)
+
+
+def test_stripe_shape_validation():
+    with pytest.raises(ValueError):
+        Stripe(data=np.zeros((4, 16), np.uint8), parity=np.zeros((2, 8), np.uint8))
+    with pytest.raises(ValueError):
+        Stripe(data=np.zeros(16, np.uint8), parity=np.zeros((2, 8), np.uint8))
+
+
+def test_stripe_erase():
+    s = Stripe(data=np.arange(8, dtype=np.uint8).reshape(2, 4),
+               parity=np.zeros((1, 4), np.uint8))
+    surv = s.erase([1])
+    assert sorted(surv) == [0, 2]
+    assert np.array_equal(surv[0], s.data[0])
