@@ -10,7 +10,7 @@ Peels the lid off the §4 machinery on the simulated testbed:
 Run:  python examples/adaptive_tuning_demo.py
 """
 
-from repro import DialgaEncoder, HardwareConfig, Workload
+from repro import DialgaConfig, DialgaEncoder, HardwareConfig, Workload
 from repro.core import (
     AdaptiveCoordinator, HillClimber, eq1_max_distance,
     static_shuffle_mapping, thrash_thread_bound,
@@ -63,7 +63,7 @@ print(f"   (read buffer sustains ~{bound} x {K}-stream thread sets; "
       f"Eq.(1) caps d at {cap} for 16 threads)")
 
 print("\n4. live policy switching under pressure (sampled PMU thresholds)")
-enc16 = DialgaEncoder(K, M, chunks=6)
+enc16 = DialgaEncoder(K, M, config=DialgaConfig(chunks=6))
 res = enc16.run(wl.with_(nthreads=14, data_bytes_per_thread=48 * 1024), hw)
 for i, pol in enumerate(enc16.policy_log):
     print(f"   chunk {i}: {pol.describe()}")

@@ -13,7 +13,7 @@ Run:  python examples/fault_tolerance_drill.py
 
 import numpy as np
 
-from repro import DialgaEncoder
+from repro import DialgaConfig, DialgaEncoder
 from repro.pmstore import FaultInjector, PMStore, Scrubber
 
 rng = np.random.default_rng(2026)
@@ -21,7 +21,8 @@ rng = np.random.default_rng(2026)
 # ----------------------------------------------------------- build store
 K, M, BLOCK = 6, 3, 1024
 store = PMStore(K, M, block_bytes=BLOCK,
-                library=DialgaEncoder(K, M, use_probe=False))
+                library=DialgaEncoder(K, M,
+                                      config=DialgaConfig(use_probe=False)))
 print(f"PM store: RS({K + M},{K}), {BLOCK} B blocks, "
       f"{M / K:.0%} space overhead, per-block CRC32\n")
 

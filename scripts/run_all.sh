@@ -10,6 +10,22 @@ pip install -e . 2>/dev/null || python setup.py develop
 echo "== unit / property / integration tests =="
 python -m pytest tests/ 2>&1 | tee test_output.txt
 
+echo "== strict deprecation job (shimmed warnings allowlisted) =="
+# Internal code must be off the pre-1.1 API: any stock DeprecationWarning
+# is an error, while the repo's own shim warnings (exercised on purpose
+# by the shim round-trip tests) stay allowed.
+python -m pytest tests/ -q \
+    -W error::DeprecationWarning \
+    -W "default::repro._deprecation.ReproDeprecationWarning" \
+    2>&1 | tee strict_warnings_output.txt
+
+echo "== lint (ruff, skipped when unavailable) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests examples
+else
+    echo "ruff not installed; skipping lint"
+fi
+
 echo "== figure benchmarks (writes benchmarks/results/) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

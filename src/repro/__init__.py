@@ -10,6 +10,9 @@ Layers (bottom-up):
 * :mod:`repro.libs` — the compared systems (ISA-L, ISA-L-D, Zerasure,
   Cerasure) as functional-codec + trace facades.
 * :mod:`repro.core` — DIALGA itself.
+* :mod:`repro.pmstore`, :mod:`repro.service` — the application layer:
+  an erasure-coded PM object store and the concurrent service over it
+  (queueing, Eq. (1) admission control, retries, degraded reads).
 * :mod:`repro.bench` — experiment harness regenerating every paper
   figure.
 
@@ -20,26 +23,51 @@ Quickstart
 >>> enc = DialgaEncoder(k=8, m=4)
 >>> data = np.random.default_rng(0).integers(0, 256, (8, 1024)).astype(np.uint8)
 >>> parity = enc.encode(data)
->>> result = enc.run(Workload(k=8, m=4, block_bytes=1024))
+>>> result = enc.run(Workload.rs(12, 8, block_bytes=1024))
 >>> result.throughput_gbps > 0
 True
 """
 
+from repro._deprecation import ReproDeprecationWarning
 from repro.codes import RSCode, LRCCode, Stripe
-from repro.core import DialgaEncoder, Policy, AdaptiveCoordinator
+from repro.core import (
+    AdaptiveCoordinator,
+    DialgaConfig,
+    DialgaEncoder,
+    Policy,
+    PolicySwitch,
+)
 from repro.gf import GF, gf8
-from repro.libs import ISAL, ISALDecompose, Zerasure, Cerasure, UnsupportedWorkload
+from repro.libs import (
+    ISAL,
+    ISALDecompose,
+    Zerasure,
+    Cerasure,
+    GeometryMismatch,
+    UnsupportedWorkload,
+)
+from repro.pmstore import FaultInjector, PMStore, TransientFault
+from repro.service import (
+    ErasureCodingService,
+    MetricsRegistry,
+    Request,
+    RequestResult,
+    RetryPolicy,
+    ServiceConfig,
+)
 from repro.simulator import HardwareConfig, simulate, SimResult, Counters
 from repro.trace import Workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RSCode",
     "LRCCode",
     "Stripe",
+    "DialgaConfig",
     "DialgaEncoder",
     "Policy",
+    "PolicySwitch",
     "AdaptiveCoordinator",
     "GF",
     "gf8",
@@ -48,6 +76,17 @@ __all__ = [
     "Zerasure",
     "Cerasure",
     "UnsupportedWorkload",
+    "GeometryMismatch",
+    "ReproDeprecationWarning",
+    "PMStore",
+    "FaultInjector",
+    "TransientFault",
+    "ErasureCodingService",
+    "ServiceConfig",
+    "Request",
+    "RequestResult",
+    "RetryPolicy",
+    "MetricsRegistry",
     "HardwareConfig",
     "simulate",
     "SimResult",

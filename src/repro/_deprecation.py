@@ -1,0 +1,22 @@
+"""Deprecation machinery for the API redesign.
+
+Legacy call shapes (pre-1.1 constructor knobs, the ``wl``/``hw``
+parameter names) keep working for one release, but funnel through
+:func:`warn_deprecated` so they are visible — and *allowlistable*: the
+strict-warnings CI job runs ``-W error::DeprecationWarning`` with
+``-W default::repro._deprecation.ReproDeprecationWarning``, so our own
+shims never mask third-party deprecations while still being loud.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A repro API surface scheduled for removal in the next release."""
+
+
+def warn_deprecated(message: str, *, stacklevel: int = 3) -> None:
+    """Emit a :class:`ReproDeprecationWarning` pointing at the caller."""
+    warnings.warn(message, ReproDeprecationWarning, stacklevel=stacklevel)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.bench.report import FigureResult
 from repro.bench.runner import scaled
-from repro.core import DialgaEncoder, Policy, eq1_max_distance
+from repro.core import DialgaConfig, DialgaEncoder, Policy, eq1_max_distance
 from repro.simulator import HardwareConfig, simulate
 from repro.trace import IsalVariant, Workload, isal_trace
 
@@ -109,13 +109,14 @@ def ablation_eq1_cap(volume: int | None = None) -> FigureResult:
     wl = Workload(k=24, m=4, block_bytes=1024, nthreads=16,
                   data_bytes_per_thread=vol)
     cap = eq1_max_distance(16, 24, 4, HW.pm)
-    hp = DialgaEncoder(24, 4, policy_override=Policy(
+    hp = DialgaEncoder(24, 4, config=DialgaConfig(policy_override=Policy(
         hw_prefetch=False, sw_distance=min(24, cap),
-        xpline_granularity=True)).run(wl, HW)
+        xpline_granularity=True))).run(wl, HW)
     # What the (tuned) low-pressure policy would do if never adapted:
     # streamer on, long buffer-friendly distances.
-    lp = DialgaEncoder(24, 4, policy_override=Policy(
-        hw_prefetch=True, sw_distance=28, bf_first_distance=56)).run(wl, HW)
+    lp = DialgaEncoder(24, 4, config=DialgaConfig(policy_override=Policy(
+        hw_prefetch=True, sw_distance=28,
+        bf_first_distance=56))).run(wl, HW)
     fig.add_row("16t", high_pressure_gbps=hp.throughput_gbps,
                 unadapted_gbps=lp.throughput_gbps,
                 high_pressure_amp=hp.sim.counters.media_read_amplification,
@@ -143,8 +144,9 @@ def ablation_hillclimb(volume: int | None = None) -> FigureResult:
     rows = {}
     for k in (8, 24, 48):
         wl = Workload(k=k, m=4, block_bytes=1024, data_bytes_per_thread=vol)
-        fixed = DialgaEncoder(k, 4, use_probe=False).run(wl, HW)
-        enc = DialgaEncoder(k, 4, use_probe=True)
+        fixed = DialgaEncoder(
+            k, 4, config=DialgaConfig(use_probe=False)).run(wl, HW)
+        enc = DialgaEncoder(k, 4, config=DialgaConfig(use_probe=True))
         climbed = enc.run(wl, HW)
         d = enc.policy_log[-1].sw_distance
         rows[k] = (fixed.throughput_gbps, climbed.throughput_gbps, d)

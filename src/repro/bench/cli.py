@@ -16,8 +16,10 @@ import time
 def _experiments() -> dict:
     from repro.bench.ablations import ALL_ABLATIONS
     from repro.bench.figures import ALL_FIGURES
+    from repro.bench.service_scenario import ALL_SCENARIOS
     out = dict(ALL_FIGURES)
     out.update(ALL_ABLATIONS)
+    out.update(ALL_SCENARIOS)
     return out
 
 

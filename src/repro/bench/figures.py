@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.bench.report import FigureResult
 from repro.bench.runner import scaled, standard_libraries
-from repro.core import DialgaEncoder, Policy
+from repro.core import DialgaConfig, DialgaEncoder, Policy
 from repro.libs import ISAL, ISALDecompose, Cerasure, Zerasure
 from repro.simulator import HardwareConfig, simulate
 from repro.trace import IsalVariant, Workload, isal_trace
@@ -629,7 +629,7 @@ def fig18(volume: int | None = None) -> FigureResult:
         # Use the distance DIALGA actually runs (hill-climbed from the
         # d=k initialization, §4.1.2) so each +stage reflects the real
         # increments of the full system.
-        enc = DialgaEncoder(k, 4, use_probe=True)
+        enc = DialgaEncoder(k, 4, config=DialgaConfig(use_probe=True))
         d = enc.coordinator_for(wl, HW).policy.sw_distance or k
         variants = {
             "Vanilla": Policy(hw_prefetch=False, sw_distance=None),
@@ -640,7 +640,7 @@ def fig18(volume: int | None = None) -> FigureResult:
         }
         row = {}
         for name, pol in variants.items():
-            enc = DialgaEncoder(k, 4, policy_override=pol)
+            enc = DialgaEncoder(k, 4, config=DialgaConfig(policy_override=pol))
             row[name] = enc.run(wl, HW).throughput_gbps
         results[tag] = row
         fig.add_row(tag, **row)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 
-from repro.core.dialga import DialgaEncoder
+from repro.core.dialga import DialgaConfig, DialgaEncoder
 from repro.libs import ISAL, ISALDecompose, Zerasure, Cerasure
 from repro.libs.base import CodingLibrary, LibraryResult, UnsupportedWorkload
 from repro.simulator import HardwareConfig
@@ -20,9 +20,13 @@ def scaled(nbytes: int) -> int:
 def standard_libraries(k: int, m: int,
                        include=("ISA-L", "ISA-L-D", "Zerasure", "Cerasure", "DIALGA"),
                        dialga_kwargs: dict | None = None) -> list[CodingLibrary]:
-    """The paper's §5.1 comparison set for one code geometry."""
+    """The paper's §5.1 comparison set for one code geometry.
+
+    ``dialga_kwargs`` maps :class:`~repro.core.dialga.DialgaConfig`
+    field names to values for the DIALGA entry.
+    """
     out: list[CodingLibrary] = []
-    dialga_kwargs = dialga_kwargs or {}
+    dialga_config = DialgaConfig(**(dialga_kwargs or {}))
     for name in include:
         if name == "ISA-L":
             out.append(ISAL(k, m))
@@ -33,7 +37,7 @@ def standard_libraries(k: int, m: int,
         elif name == "Cerasure":
             out.append(Cerasure(k, m))
         elif name == "DIALGA":
-            out.append(DialgaEncoder(k, m, **dialga_kwargs))
+            out.append(DialgaEncoder(k, m, config=dialga_config))
         else:
             raise ValueError(f"unknown library {name!r}")
     return out

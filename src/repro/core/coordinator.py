@@ -21,7 +21,7 @@ hill climbing (§4.1.2) whenever performance fluctuates by more than
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.core.buffer_friendly import (
     bf_distances,
@@ -55,18 +55,28 @@ class CoordinatorConfig:
     neighborhood: int = 16
 
 
+class PolicySwitch(NamedTuple):
+    """One dynamic policy change (sample index + before/after)."""
+
+    sample: int
+    old: Policy
+    new: Policy
+
+
 class AdaptiveCoordinator:
     """Decides and adapts the prefetcher-scheduling policy for one job."""
 
     def __init__(self, wl: Workload, hw: HardwareConfig,
                  config: CoordinatorConfig | None = None,
                  probe: Callable[[int], float] | None = None,
-                 policy_probe: Callable[["Policy"], float] | None = None):
+                 policy_probe: Callable[["Policy"], float] | None = None,
+                 on_switch: Callable[[PolicySwitch], None] | None = None):
         self.wl = wl
         self.hw = hw
         self.config = config or CoordinatorConfig()
         self.probe = probe
         self.policy_probe = policy_probe
+        self.on_switch = on_switch
         self.policy = self._initial_policy()
         #: Low-pressure references (paper: "110% of the average latency
         #: under low pressure"). Set via :meth:`set_baseline` from a
@@ -76,6 +86,10 @@ class AdaptiveCoordinator:
         self._saved_policy: Policy | None = None
         self._prev_throughput: float | None = None
         self.switches = 0  # policy flips (observability/tests)
+        #: Every dynamic flip, in order — the service layer's metrics
+        #: registry consumes these (and on_switch fires per event).
+        self.switch_events: list[PolicySwitch] = []
+        self._samples_seen = 0
 
     def set_baseline(self, sample: Counters) -> None:
         """Install low-pressure reference levels from a calibration run."""
@@ -157,6 +171,7 @@ class AdaptiveCoordinator:
         PMU reader hands the coordinator).
         """
         cfg = self.config
+        self._samples_seen += 1
         if sample.loads == 0:
             return self.policy
         avg_lat = sample.avg_load_latency_ns
@@ -195,5 +210,9 @@ class AdaptiveCoordinator:
             self._prev_throughput = throughput_gbps
         if new != self.policy:
             self.switches += 1
+            event = PolicySwitch(self._samples_seen, self.policy, new)
+            self.switch_events.append(event)
             self.policy = new
+            if self.on_switch is not None:
+                self.on_switch(event)
         return self.policy

@@ -7,17 +7,24 @@ uniformly. Functionally it *is* ISA-L (table-lookup RS — DIALGA is
 path: the adaptive coordinator picks a kernel entry point (policy) from
 the I/O pattern, hill-climbs the software-prefetch distance on a probe,
 and re-decides between chunks from sampled counters.
+
+Tuning knobs live in one keyword-only :class:`DialgaConfig`; the
+pre-1.1 loose constructor keywords still work behind deprecation shims
+for one release.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro.codes.rs import RSCode
 from repro.core.coordinator import AdaptiveCoordinator, CoordinatorConfig
 from repro.core.policy import Policy
 from repro.gf.arithmetic import GF
-from repro.libs.base import CodingLibrary, LibraryResult
+from repro.libs.base import CodingLibrary, GeometryMismatch, LibraryResult
 from repro.simulator import HardwareConfig, SimResult, simulate
 from repro.simulator.engine import ThreadContext
 from repro.simulator.multicore import make_backends
@@ -25,13 +32,16 @@ from repro.simulator.counters import Counters
 from repro.trace import Trace, Workload, isal_trace
 
 
-class DialgaEncoder(CodingLibrary):
-    """Adaptive prefetcher-scheduled erasure coding on PM.
+@dataclass(frozen=True, kw_only=True)
+class DialgaConfig:
+    """All of :class:`DialgaEncoder`'s tuning knobs in one place.
 
-    Parameters
+    Keyword-only by design: every field names itself at the call site,
+    and `run`-time code receives one immutable object instead of six
+    loose parameters.
+
+    Attributes
     ----------
-    k, m:
-        Code geometry.
     field:
         GF instance (default GF(2^8)).
     adaptive:
@@ -45,24 +55,130 @@ class DialgaEncoder(CodingLibrary):
         Hill-climb the software-prefetch distance on a small simulated
         probe before starting (§4.1.2, on by default as in the paper).
         Disable to pin d = k.
+    coordinator:
+        Threshold overrides for the adaptive coordinator.
+    """
+
+    field: GF | None = None
+    adaptive: bool = True
+    chunks: int = 6
+    policy_override: Policy | None = None
+    use_probe: bool = True
+    coordinator: CoordinatorConfig | None = None
+
+    def with_(self, **kwargs) -> "DialgaConfig":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Pre-1.1 constructor keywords, in their old positional order, mapped
+#: to the DialgaConfig field that replaced each.
+_LEGACY_FIELDS = (
+    ("field", "field"),
+    ("adaptive", "adaptive"),
+    ("chunks", "chunks"),
+    ("policy_override", "policy_override"),
+    ("use_probe", "use_probe"),
+    ("coordinator_config", "coordinator"),
+)
+
+
+class DialgaEncoder(CodingLibrary):
+    """Adaptive prefetcher-scheduled erasure coding on PM.
+
+    Parameters
+    ----------
+    k, m:
+        Code geometry.
+    config:
+        Keyword-only :class:`DialgaConfig` with every tuning knob.
+
+    The pre-1.1 spelling — ``DialgaEncoder(k, m, adaptive=...,
+    chunks=..., policy_override=..., use_probe=...,
+    coordinator_config=...)`` — still works but emits a
+    :class:`~repro._deprecation.ReproDeprecationWarning`.
     """
 
     name = "DIALGA"
+    supports_policy = True
 
-    def __init__(self, k: int, m: int, field: GF | None = None,
-                 adaptive: bool = True, chunks: int = 6,
-                 policy_override: Policy | None = None,
-                 use_probe: bool = True,
-                 coordinator_config: CoordinatorConfig | None = None):
-        self.code = RSCode(k, m, field=field)
+    def __init__(self, k: int, m: int, *legacy_args,
+                 config: DialgaConfig | None = None, **legacy_kwargs):
+        legacy = self._fold_legacy(legacy_args, legacy_kwargs)
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    f"pass either config= or the deprecated keywords "
+                    f"{sorted(legacy)}, not both")
+            warn_deprecated(
+                "DialgaEncoder(..., "
+                + ", ".join(f"{k}=..." for k in sorted(legacy))
+                + ") is deprecated; pass config=DialgaConfig(...) instead")
+            config = DialgaConfig(**legacy)
+        self.config = config or DialgaConfig()
+        self.code = RSCode(k, m, field=self.config.field)
         self.k, self.m = k, m
-        self.adaptive = adaptive
-        self.chunks = max(1, chunks)
-        self.policy_override = policy_override
-        self.use_probe = use_probe
-        self.coordinator_config = coordinator_config
         #: Policies applied per chunk in the last run (observability).
         self.policy_log: list[Policy] = []
+        #: Coordinator of the last adaptive run (None before any run or
+        #: after a pinned/non-adaptive run) — exposes policy-switch
+        #: events to the service layer.
+        self.last_coordinator: AdaptiveCoordinator | None = None
+
+    @staticmethod
+    def _fold_legacy(args: tuple, kwargs: dict) -> dict:
+        """Map old positional/keyword constructor knobs onto DialgaConfig
+        field names; raises on unknown keywords."""
+        if len(args) > len(_LEGACY_FIELDS):
+            raise TypeError(
+                f"DialgaEncoder takes at most {2 + len(_LEGACY_FIELDS)} "
+                f"positional arguments")
+        legacy: dict = {}
+        for (old, new), value in zip(_LEGACY_FIELDS, args):
+            legacy[new] = value
+        for old, new in _LEGACY_FIELDS:
+            if old in kwargs:
+                if new in legacy:
+                    raise TypeError(f"duplicate value for {old!r}")
+                legacy[new] = kwargs.pop(old)
+        if kwargs:
+            raise TypeError(
+                f"DialgaEncoder got unexpected keyword argument(s) "
+                f"{sorted(kwargs)}")
+        return legacy
+
+    # -- config attribute compatibility (pre-1.1 public attributes) --------
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether between-chunk adaptation is enabled (from config)."""
+        return self.config.adaptive
+
+    @property
+    def chunks(self) -> int:
+        """Adaptation chunk count (from config, at least 1)."""
+        return max(1, self.config.chunks)
+
+    @property
+    def policy_override(self) -> Policy | None:
+        """Pinned policy, if any (from config)."""
+        return self.config.policy_override
+
+    @property
+    def use_probe(self) -> bool:
+        """Whether the hill-climbing probe is enabled (from config)."""
+        return self.config.use_probe
+
+    @property
+    def coordinator_config(self) -> CoordinatorConfig | None:
+        """Coordinator threshold overrides (from config)."""
+        return self.config.coordinator
+
+    @property
+    def policy_switches(self) -> int:
+        """Dynamic policy switches in the last adaptive run (0 when the
+        run was pinned or non-adaptive) — service-layer observability."""
+        return self.last_coordinator.switches if self.last_coordinator else 0
 
     # -- functional (bit-exact ISA-L RS) ----------------------------------
 
@@ -113,20 +229,29 @@ class DialgaEncoder(CodingLibrary):
         return isal_trace(wl, hw.cpu, policy.to_variant(), thread=thread,
                           stripe_offset=stripe_offset)
 
-    def run(self, wl: Workload, hw: HardwareConfig | None = None) -> LibraryResult:
-        """Simulate the workload with the full adaptive pipeline."""
-        hw = hw or HardwareConfig()
-        wl = self.effective_workload(wl)
+    def run(self, workload: Workload | None = None,
+            hardware: HardwareConfig | None = None, *,
+            policy: Policy | None = None, **legacy) -> LibraryResult:
+        """Simulate the workload with the full adaptive pipeline.
+
+        ``policy`` pins a scheduling policy for this run only (it
+        behaves like a per-call ``policy_override``).
+        """
+        workload, hardware = self._resolve_run_args(workload, hardware, legacy)
+        hw = hardware or HardwareConfig()
+        wl = self.effective_workload(workload)
         hw = hw.with_cpu(simd=wl.simd)
         if wl.k != self.k or wl.m != self.m:
-            raise ValueError(
+            raise GeometryMismatch(
                 f"workload geometry ({wl.k},{wl.m}) != encoder ({self.k},{self.m})")
         self.policy_log = []
-        if self.policy_override is not None or not self.adaptive:
-            policy = self.policy_override or AdaptiveCoordinator(
+        self.last_coordinator = None
+        pinned = policy or self.policy_override
+        if pinned is not None or not self.adaptive:
+            run_policy = pinned or AdaptiveCoordinator(
                 wl, hw, config=self.coordinator_config).policy
-            self.policy_log.append(policy)
-            traces = [self.trace(wl, hw, t, policy=policy)
+            self.policy_log.append(run_policy)
+            traces = [self.trace(wl, hw, t, policy=run_policy)
                       for t in range(wl.nthreads)]
             sim = simulate(traces, hw)
             return LibraryResult(self.name, wl, sim)
@@ -149,6 +274,7 @@ class DialgaEncoder(CodingLibrary):
     def _run_adaptive(self, wl: Workload, hw: HardwareConfig) -> SimResult:
         """Chunked execution: simulate, sample counters, re-decide."""
         coord = self.coordinator_for(wl, hw)
+        self.last_coordinator = coord
         if wl.nthreads > 1:
             self._calibrate_baseline(coord, wl, hw)
         counters = Counters()

@@ -13,7 +13,12 @@ a *performance* model (the memory-access trace its kernel executes):
   interface.
 """
 
-from repro.libs.base import CodingLibrary, LibraryResult, UnsupportedWorkload
+from repro.libs.base import (
+    CodingLibrary,
+    GeometryMismatch,
+    LibraryResult,
+    UnsupportedWorkload,
+)
 from repro.libs.isal import ISAL
 from repro.libs.isal_decompose import ISALDecompose
 from repro.libs.zerasure import Zerasure
@@ -27,4 +32,5 @@ __all__ = [
     "Zerasure",
     "Cerasure",
     "UnsupportedWorkload",
+    "GeometryMismatch",
 ]

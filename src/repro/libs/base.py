@@ -4,15 +4,30 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro.simulator import HardwareConfig, SimResult, simulate
 from repro.trace import Trace, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (layering: libs < core)
+    from repro.core.policy import Policy
 
 
 class UnsupportedWorkload(ValueError):
     """A library cannot run this workload (e.g. Zerasure on wide stripes)."""
+
+
+class GeometryMismatch(ValueError):
+    """Workload geometry (k, m) does not match the encoder's.
+
+    Raised by :meth:`CodingLibrary.run` implementations that are bound
+    to a fixed code geometry at construction time. Subclasses
+    ``ValueError`` so pre-1.1 ``except ValueError`` handlers keep
+    working.
+    """
 
 
 @dataclass
@@ -34,7 +49,15 @@ class CodingLibrary(abc.ABC):
 
     Subclasses provide bit-exact :meth:`encode`/:meth:`decode` and a
     per-thread :meth:`trace` describing the kernel's memory schedule.
-    :meth:`run` ties them to the simulator.
+    :meth:`run` ties them to the simulator with one uniform signature
+    across all five systems::
+
+        lib.run(workload, hardware=None, *, policy=None)
+
+    ``policy`` pins a :class:`~repro.core.policy.Policy` for the run;
+    libraries whose kernels cannot change strategy at runtime
+    (``supports_policy`` False) raise :class:`UnsupportedWorkload` when
+    one is passed.
     """
 
     #: Display name used in benchmark tables.
@@ -42,6 +65,8 @@ class CodingLibrary(abc.ABC):
     #: SIMD width the library's kernels support ("avx512" means it
     #: follows the workload setting; Zerasure/Cerasure force "avx256").
     forced_simd: str | None = None
+    #: Whether :meth:`run` accepts a pinned scheduling policy.
+    supports_policy: bool = False
 
     @abc.abstractmethod
     def encode(self, data: np.ndarray) -> np.ndarray:
@@ -65,18 +90,57 @@ class CodingLibrary(abc.ABC):
             return wl.with_(simd=self.forced_simd)
         return wl
 
-    def run(self, wl: Workload, hw: HardwareConfig | None = None) -> LibraryResult:
+    def _resolve_run_args(self, workload, hardware, legacy) -> tuple[Workload, HardwareConfig | None]:
+        """Fold the pre-1.1 ``wl=``/``hw=`` keyword spellings into the
+        uniform (workload, hardware) pair, with deprecation warnings."""
+        if "wl" in legacy:
+            if workload is not None:
+                raise TypeError("pass the workload once: positionally or as wl=")
+            workload = legacy.pop("wl")
+            warn_deprecated(
+                f"{type(self).__name__}.run(wl=...) is deprecated; "
+                "pass the workload positionally or as workload=")
+        if "hw" in legacy:
+            if hardware is not None:
+                raise TypeError("pass the hardware once: positionally or as hw=")
+            hardware = legacy.pop("hw")
+            warn_deprecated(
+                f"{type(self).__name__}.run(hw=...) is deprecated; "
+                "pass the testbed positionally or as hardware=")
+        if legacy:
+            raise TypeError(
+                f"run() got unexpected keyword argument(s) {sorted(legacy)}")
+        if workload is None:
+            raise TypeError("run() missing required argument: 'workload'")
+        return workload, hardware
+
+    def _trace_with_policy(self, wl: Workload, hw: HardwareConfig,
+                           thread: int, policy: "Policy | None") -> Trace:
+        """Hook for policy-capable libraries; default ignores ``policy``
+        (callers have already been rejected unless it is None)."""
+        return self.trace(wl, hw, thread)
+
+    def run(self, workload: Workload | None = None,
+            hardware: HardwareConfig | None = None, *,
+            policy: "Policy | None" = None, **legacy) -> LibraryResult:
         """Simulate the workload and return throughput + counters.
 
         Raises :class:`UnsupportedWorkload` when :meth:`supports` is
-        False (benchmarks render these as the paper's "missing results").
+        False (benchmarks render these as the paper's "missing
+        results"), or when ``policy`` is pinned on a library whose
+        kernels cannot honor one.
         """
-        hw = hw or HardwareConfig()
-        wl = self.effective_workload(wl)
+        workload, hardware = self._resolve_run_args(workload, hardware, legacy)
+        if policy is not None and not self.supports_policy:
+            raise UnsupportedWorkload(
+                f"{self.name} has fixed kernels; cannot pin a scheduling policy")
+        hw = hardware or HardwareConfig()
+        wl = self.effective_workload(workload)
         if not self.supports(wl):
             raise UnsupportedWorkload(f"{self.name} cannot run {wl}")
         hw = hw.with_cpu(simd=wl.simd)
-        traces = [self.trace(wl, hw, t) for t in range(wl.nthreads)]
+        traces = [self._trace_with_policy(wl, hw, t, policy)
+                  for t in range(wl.nthreads)]
         sim = simulate(traces, hw)
         return LibraryResult(library=self.name, workload=wl, sim=sim)
 

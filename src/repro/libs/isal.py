@@ -23,6 +23,9 @@ class ISAL(CodingLibrary):
     """
 
     name = "ISA-L"
+    #: The row-major kernel takes the same entry-point parameters as
+    #: DIALGA's operator, so a pinned Policy maps onto an IsalVariant.
+    supports_policy = True
 
     def __init__(self, k: int, m: int, field: GF | None = None,
                  variant: IsalVariant | None = None):
@@ -40,3 +43,7 @@ class ISAL(CodingLibrary):
 
     def trace(self, wl: Workload, hw: HardwareConfig, thread: int) -> Trace:
         return isal_trace(wl, hw.cpu, self.variant, thread=thread)
+
+    def _trace_with_policy(self, wl, hw, thread, policy) -> Trace:
+        variant = self.variant if policy is None else policy.to_variant()
+        return isal_trace(wl, hw.cpu, variant, thread=thread)

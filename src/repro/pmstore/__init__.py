@@ -17,7 +17,7 @@ a DIALGA user actually runs:
 """
 
 from repro.pmstore.store import PMStore, StoreStats, ObjectMeta
-from repro.pmstore.faults import FaultInjector, FaultEvent
+from repro.pmstore.faults import FaultInjector, FaultEvent, TransientFault
 from repro.pmstore.scrubber import Scrubber, ScrubReport
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "ObjectMeta",
     "FaultInjector",
     "FaultEvent",
+    "TransientFault",
     "Scrubber",
     "ScrubReport",
 ]

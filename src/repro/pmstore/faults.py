@@ -9,10 +9,22 @@ region/device loss (detected erasures), and software scribbles
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.pmstore.store import PMStore
+
+
+class TransientFault(RuntimeError):
+    """An operation-level failure that succeeds on retry.
+
+    Models the recoverable end of the §2.1 taxonomy (a timed-out media
+    access, a torn DDR-T transaction the controller replays): the store
+    itself is undamaged, the *operation* failed. Raised from
+    :attr:`PMStore.fault_hooks`; the service layer retries with
+    exponential backoff.
+    """
 
 
 @dataclass(frozen=True)
@@ -89,3 +101,33 @@ class FaultInjector:
             self.events.append(ev)
             out.append(ev)
         return out
+
+    def transient_hook(self, rate: float = 0.1,
+                       max_failures_per_key: int = 2,
+                       ops: tuple[str, ...] = ("put", "get"),
+                       ) -> Callable[[str, str], None]:
+        """Build a :attr:`PMStore.fault_hooks` callback that raises
+        :class:`TransientFault` on a deterministic ``rate`` fraction of
+        operations, at most ``max_failures_per_key`` times per (op,
+        key) — so a retrying caller always eventually succeeds.
+
+        Each raise is also recorded as a ``transient`` event, letting
+        tests assert the exact injected-vs-retried counts.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        failures: dict[tuple[str, str], int] = {}
+
+        def hook(op: str, key: str) -> None:
+            if op not in ops:
+                return
+            seen = failures.get((op, key), 0)
+            if seen >= max_failures_per_key:
+                return
+            if self.rng.random() < rate:
+                failures[(op, key)] = seen + 1
+                self.events.append(
+                    FaultEvent("transient", -1, -1, f"{op} {key!r}"))
+                raise TransientFault(f"transient {op} failure on {key!r}")
+
+        return hook

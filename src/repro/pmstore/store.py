@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -94,6 +95,12 @@ class PMStore:
         self.stats = StoreStats()
         self._stripes: list[_Stripe] = []
         self._objects: dict[str, ObjectMeta] = {}
+        #: Callbacks fired at the top of every put/get as ``hook(op,
+        #: key)``. A hook may raise (e.g. :class:`~repro.pmstore.faults.
+        #: TransientFault`) to model an operation-level failure — the
+        #: service layer's retry path hangs off this.
+        self.fault_hooks: list[Callable[[str, str], None]] = []
+        self._lost_devices: set[int] = set()
 
     # -- geometry helpers --------------------------------------------------
 
@@ -109,6 +116,14 @@ class PMStore:
 
     def _checksum(self, block: np.ndarray) -> int:
         return zlib.crc32(block.tobytes())
+
+    def add_fault_hook(self, hook: Callable[[str, str], None]) -> None:
+        """Register an operation-level fault hook (see ``fault_hooks``)."""
+        self.fault_hooks.append(hook)
+
+    def _fire_hooks(self, op: str, key: str) -> None:
+        for hook in self.fault_hooks:
+            hook(op, key)
 
     def _charge(self, op: str, stripes: int) -> None:
         """Charge simulated coding time for ``stripes`` stripe ops."""
@@ -140,7 +155,11 @@ class PMStore:
 
     def _new_stripe(self) -> int:
         data = np.zeros((self.k, self.block_bytes), dtype=np.uint8)
-        self._stripes.append(self._encode_stripe(data))
+        stripe = self._encode_stripe(data)
+        # A dead device region is dead for freshly allocated stripes too:
+        # logical writes still land (parity carries them), reads degrade.
+        stripe.lost |= self._lost_devices
+        self._stripes.append(stripe)
         return len(self._stripes) - 1
 
     def _reencode(self, sid: int) -> None:
@@ -155,6 +174,7 @@ class PMStore:
 
     def put(self, key: str, value: bytes) -> ObjectMeta:
         """Store an object (at most one stripe of payload)."""
+        self._fire_hooks("put", key)
         if len(value) > self.stripe_data_bytes:
             raise ValueError(
                 f"object of {len(value)} B exceeds stripe capacity "
@@ -184,7 +204,10 @@ class PMStore:
     def get(self, key: str) -> bytes:
         """Read an object, transparently repairing through parity if its
         blocks are marked lost (a *degraded read*)."""
+        self._fire_hooks("get", key)
         meta = self._objects[key]
+        if meta.stripe == -1:  # shard manifest: reassemble transparently
+            return self.get_sharded(key)
         stripe = self._stripes[meta.stripe]
         blocks_needed = set(
             range(meta.offset // self.block_bytes,
@@ -208,8 +231,8 @@ class PMStore:
         """Store an object of any size, sharding across stripes.
 
         Shards are stored as ``key#<i>`` objects plus a ``key`` manifest
-        entry recording the shard count; read back with
-        :meth:`get_sharded`.
+        entry recording the shard count; :meth:`get` reassembles
+        manifests transparently (:meth:`get_sharded` does it explicitly).
         """
         cap = self.stripe_data_bytes
         shards = [value[i:i + cap] for i in range(0, max(1, len(value)), cap)]
@@ -253,6 +276,48 @@ class PMStore:
         if not 0 <= block < total:
             raise IndexError(f"block {block} out of range 0..{total - 1}")
         self._stripes[sid].lost.add(block)
+
+    @property
+    def lost_devices(self) -> frozenset[int]:
+        """Block positions currently marked lost store-wide."""
+        return frozenset(self._lost_devices)
+
+    def mark_device_lost(self, device: int) -> int:
+        """Lose block position ``device`` in every stripe, present and
+        future — the correlated "device died" failure the striping is
+        designed for. Returns how many existing stripes were affected.
+        Reads of affected objects become degraded reads until
+        :meth:`restore_device` (or :meth:`repair_all`) runs.
+        """
+        total = self.k + self.parity_blocks
+        if not 0 <= device < total:
+            raise IndexError(f"device {device} out of range 0..{total - 1}")
+        self._lost_devices.add(device)
+        affected = 0
+        for stripe in self._stripes:
+            if device not in stripe.lost:
+                stripe.lost.add(device)
+                affected += 1
+        return affected
+
+    def restore_device(self, device: int) -> int:
+        """Bring a lost device back: rebuild its blocks from parity in
+        every stripe and stop marking it in new stripes. Returns blocks
+        rebuilt."""
+        self._lost_devices.discard(device)
+        return self.repair_all()
+
+    def is_degraded(self, key: str) -> bool:
+        """Whether reading ``key`` right now requires parity repair."""
+        meta = self._objects[key]
+        if meta.stripe == -1:  # shard manifest: degraded if any shard is
+            return any(self.is_degraded(f"{key}#{i}")
+                       for i in range(meta.offset))
+        stripe = self._stripes[meta.stripe]
+        blocks_needed = set(
+            range(meta.offset // self.block_bytes,
+                  (meta.offset + meta.length - 1) // self.block_bytes + 1))
+        return bool(blocks_needed & stripe.lost)
 
     def _decode(self, sid: int, erased: list[int]) -> dict[int, np.ndarray]:
         stripe = self._stripes[sid]

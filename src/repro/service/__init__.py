@@ -1,0 +1,55 @@
+"""The concurrent erasure-coding service layer (``repro.service``).
+
+The paper's point is that DIALGA lets erasure coding on PM serve *more
+concurrent work* before the read buffer thrashes (the Eq. (1) cap and
+the 12-thread knee). This package turns that into a system: an
+erasure-coded PM object-storage *service* over :mod:`repro.pmstore`
+and :mod:`repro.core` modeling sustained multi-client traffic —
+
+* :class:`~repro.service.service.ErasureCodingService` — the
+  deterministic discrete-event service loop;
+* :class:`~repro.service.queue.RequestQueue` — bounded FIFO with
+  same-geometry batch coalescing (bit-exact, see
+  :func:`~repro.service.queue.encode_coalesced`);
+* :class:`~repro.service.admission.AdmissionController` — the paper's
+  Eq. (1) read-buffer bound as a concurrency limiter;
+* :class:`~repro.service.retry.RetryPolicy` — exponential backoff for
+  injected transient faults;
+* :class:`~repro.service.metrics.MetricsRegistry` — latency
+  percentiles, queue depth, rejections, retries, policy switches;
+* :mod:`repro.service.traffic` — seeded multi-client request streams.
+"""
+
+from repro.service.admission import AdmissionController, eq1_thread_cap
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.queue import Batch, BatchKey, RequestQueue, encode_coalesced
+from repro.service.request import (
+    Request,
+    RequestKind,
+    RequestResult,
+    RequestStatus,
+)
+from repro.service.retry import RetryPolicy
+from repro.service.service import ErasureCodingService, ServiceConfig
+from repro.service.traffic import client_key, get_wave, put_wave
+
+__all__ = [
+    "AdmissionController",
+    "eq1_thread_cap",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "Batch",
+    "BatchKey",
+    "RequestQueue",
+    "encode_coalesced",
+    "Request",
+    "RequestKind",
+    "RequestResult",
+    "RequestStatus",
+    "RetryPolicy",
+    "ErasureCodingService",
+    "ServiceConfig",
+    "client_key",
+    "get_wave",
+    "put_wave",
+]

@@ -1,0 +1,131 @@
+"""Service metrics: latency histograms, gauges and counters.
+
+A :class:`MetricsRegistry` is the one observability surface of the
+service layer — tests, the bench CLI scenario and the traffic-replay
+demo all read the same :meth:`~MetricsRegistry.snapshot`. Everything is
+plain Python (no numpy) so snapshots are cheap and JSON-ready.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class LatencyHistogram:
+    """Exact-percentile latency recorder (ns).
+
+    The service handles thousands of simulated requests, not millions,
+    so we keep every sample and compute exact nearest-rank percentiles
+    rather than bucketing.
+    """
+
+    def __init__(self):
+        self._values: list[float] = []
+        self._sorted = True
+
+    def record(self, value_ns: float) -> None:
+        """Add one latency sample."""
+        self._values.append(float(value_ns))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self._values) / len(self._values) if self._values else 0.0
+
+    @property
+    def max_ns(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(1, round(p / 100 * len(self._values)))
+        return self._values[min(rank, len(self._values)) - 1]
+
+    def summary(self) -> dict:
+        """count/mean/p50/p90/p99/max in one JSON-ready dict."""
+        return {
+            "count": self.count,
+            "mean_ns": self.mean_ns,
+            "p50_ns": self.percentile(50),
+            "p90_ns": self.percentile(90),
+            "p99_ns": self.percentile(99),
+            "max_ns": self.max_ns,
+        }
+
+
+class MetricsRegistry:
+    """Counters + per-operation latency histograms + queue-depth gauge."""
+
+    def __init__(self):
+        self.counters: dict[str, int] = defaultdict(int)
+        self.latency: dict[str, LatencyHistogram] = defaultdict(LatencyHistogram)
+        self._queue_depths: list[int] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, by: int = 1) -> None:
+        """Bump a counter."""
+        self.counters[name] += by
+
+    def observe_latency(self, op: str, latency_ns: float) -> None:
+        """Record one request latency under operation label ``op``."""
+        self.latency[op].record(latency_ns)
+
+    def sample_queue_depth(self, depth: int) -> None:
+        """Record the queue depth at a dispatch/arrival instant."""
+        self._queue_depths.append(depth)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self._queue_depths) if self._queue_depths else 0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        return (sum(self._queue_depths) / len(self._queue_depths)
+                if self._queue_depths else 0.0)
+
+    def count(self, name: str) -> int:
+        """Read one counter (0 when never bumped)."""
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """Everything, as one nested JSON-ready dict."""
+        return {
+            "counters": dict(self.counters),
+            "latency": {op: h.summary() for op, h in self.latency.items()},
+            "queue": {
+                "samples": len(self._queue_depths),
+                "max_depth": self.max_queue_depth,
+                "mean_depth": self.mean_queue_depth,
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable snapshot block (used by the demo/CLI)."""
+        snap = self.snapshot()
+        lines = ["-- service metrics --"]
+        for name in sorted(snap["counters"]):
+            lines.append(f"  {name:<28} {snap['counters'][name]}")
+        for op in sorted(snap["latency"]):
+            s = snap["latency"][op]
+            lines.append(
+                f"  {op + ' latency':<28} n={s['count']}  "
+                f"p50={s['p50_ns'] / 1e3:.1f}us  p90={s['p90_ns'] / 1e3:.1f}us  "
+                f"p99={s['p99_ns'] / 1e3:.1f}us  max={s['max_ns'] / 1e3:.1f}us")
+        q = snap["queue"]
+        lines.append(f"  {'queue depth':<28} max={q['max_depth']}  "
+                     f"mean={q['mean_depth']:.2f}  samples={q['samples']}")
+        return "\n".join(lines)

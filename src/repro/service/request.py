@@ -1,0 +1,100 @@
+"""Service request/response types.
+
+A :class:`Request` is one client operation arriving at the service at a
+simulated instant; a :class:`RequestResult` is its final disposition
+with latency accounting. Both are plain data — the event loop in
+:mod:`repro.service.service` owns all behavior.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RequestKind(str, enum.Enum):
+    """What the client asked for."""
+
+    PUT = "put"          # store an object (payload bytes)
+    GET = "get"          # read an object back
+    ENCODE = "encode"    # raw encode job of `stripes` full stripes
+
+
+class RequestStatus(str, enum.Enum):
+    """Final disposition of a request."""
+
+    COMPLETED = "completed"
+    REJECTED = "rejected"    # admission controller turned it away
+    FAILED = "failed"        # retries exhausted / unrecoverable
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client operation.
+
+    Attributes
+    ----------
+    kind:
+        ``put``, ``get`` or ``encode``.
+    key:
+        Object key (ignored for ``encode``).
+    client:
+        Simulated client id (observability only).
+    arrival_ns:
+        When the request reaches the service, on the simulated clock.
+    payload:
+        Object bytes for ``put``.
+    stripes:
+        Volume of an ``encode`` job, in full stripes.
+    """
+
+    kind: RequestKind
+    key: str = ""
+    client: int = 0
+    arrival_ns: float = 0.0
+    payload: bytes = b""
+    stripes: int = 1
+
+    @staticmethod
+    def put(key: str, payload: bytes, *, client: int = 0,
+            arrival_ns: float = 0.0) -> "Request":
+        """Convenience constructor for a PUT."""
+        return Request(RequestKind.PUT, key, client, arrival_ns, payload)
+
+    @staticmethod
+    def get(key: str, *, client: int = 0, arrival_ns: float = 0.0) -> "Request":
+        """Convenience constructor for a GET."""
+        return Request(RequestKind.GET, key, client, arrival_ns)
+
+    @staticmethod
+    def encode(stripes: int = 1, *, client: int = 0,
+               arrival_ns: float = 0.0) -> "Request":
+        """Convenience constructor for a raw encode job."""
+        return Request(RequestKind.ENCODE, "", client, arrival_ns,
+                       b"", stripes)
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one request after the service drained it."""
+
+    request: Request
+    status: RequestStatus
+    #: Arrival-to-completion time on the simulated clock (None when
+    #: rejected at admission).
+    latency_ns: float | None = None
+    #: Transient-fault retries this request consumed.
+    retries: int = 0
+    #: Whether a GET was served through parity reconstruction.
+    degraded: bool = False
+    #: Payload handed back to the client (GET only).
+    value: bytes = b""
+    error: str = ""
+    #: Size of the batch this request was coalesced into (1 = alone).
+    batch_size: int = 1
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the request completed (possibly degraded)."""
+        return self.status is RequestStatus.COMPLETED

@@ -1,0 +1,50 @@
+"""Deterministic retry policy with exponential backoff.
+
+Backoff is computed on the *simulated* clock (the service has no real
+time), so runs are bit-for-bit reproducible: attempt ``i`` after a
+failure waits ``base_delay_ns * factor**(i - 1)``, capped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, kw_only=True)
+class RetryPolicy:
+    """Exponential-backoff schedule for transient faults.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (so ``max_attempts - 1``
+        retries).
+    base_delay_ns:
+        Simulated wait before the first retry.
+    factor:
+        Multiplier per subsequent retry.
+    max_delay_ns:
+        Per-wait cap.
+    """
+
+    max_attempts: int = 4
+    base_delay_ns: float = 100_000.0
+    factor: float = 2.0
+    max_delay_ns: float = 10_000_000.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ns < 0 or self.factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def delay_ns(self, retry: int) -> float:
+        """Backoff before retry number ``retry`` (1-based)."""
+        if retry < 1:
+            raise ValueError("retries are numbered from 1")
+        return min(self.base_delay_ns * self.factor ** (retry - 1),
+                   self.max_delay_ns)
+
+    def total_delay_ns(self, retries: int) -> float:
+        """Cumulative backoff across the first ``retries`` retries."""
+        return sum(self.delay_ns(i) for i in range(1, retries + 1))

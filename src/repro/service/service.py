@@ -1,0 +1,314 @@
+"""The erasure-coded PM object-storage service.
+
+Ties every service-layer piece together into one deterministic
+discrete-event loop over the *simulated* clock:
+
+* arrivals enter the bounded :class:`~repro.service.queue.RequestQueue`
+  (or are **rejected** when the queue is full — which, by the dispatch
+  invariant, only happens while the Eq. (1) cap is saturated);
+* the dispatcher pulls **coalesced** same-geometry batches whenever the
+  :class:`~repro.service.admission.AdmissionController` has thread
+  budget, and charges each batch a single simulated encode/decode job
+  on the configured :class:`~repro.libs.base.CodingLibrary`;
+* :class:`~repro.pmstore.faults.TransientFault` raised from the store's
+  fault hooks is retried with exponential backoff on the simulated
+  clock; reads of blocks on a lost device degrade through parity
+  reconstruction instead of failing;
+* everything lands in a :class:`~repro.service.metrics.MetricsRegistry`
+  (latency percentiles, queue depth, rejections, retries, coordinator
+  policy switches) snapshotable from tests and the bench CLI.
+
+The loop is single-threaded Python simulating many concurrent clients —
+the same substitution the testbed makes for hardware (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.core.dialga import DialgaConfig, DialgaEncoder
+from repro.libs.base import CodingLibrary, GeometryMismatch
+from repro.pmstore.faults import TransientFault
+from repro.pmstore.store import PMStore
+from repro.service.admission import AdmissionController
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import BatchKey, Batch, RequestQueue
+from repro.service.request import Request, RequestKind, RequestResult, RequestStatus
+from repro.service.retry import RetryPolicy
+from repro.simulator.params import HardwareConfig
+from repro.trace.workload import Workload
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServiceConfig:
+    """Service-level tuning knobs (all keyword-only).
+
+    Attributes
+    ----------
+    threads_per_job:
+        Simulated encode threads one dispatched batch occupies — the
+        unit the admission controller accounts in.
+    max_batch:
+        Most requests coalesced into one simulated job.
+    max_queue_depth:
+        Queue bound; arrivals beyond it (while at the Eq. (1) cap) are
+        rejected.
+    d_max:
+        Worst-case prefetch distance assumed by admission control
+        (default ``2 * k``, the buffer-friendly first-line distance).
+    retry:
+        Exponential-backoff schedule for transient faults.
+    base_latency_ns:
+        Fixed per-request service overhead (parse, index, commit).
+    """
+
+    threads_per_job: int = 1
+    max_batch: int = 8
+    max_queue_depth: int = 16
+    d_max: int | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    base_latency_ns: float = 2_000.0
+
+
+class ErasureCodingService:
+    """A concurrent EC object service over the simulated PM testbed.
+
+    Parameters
+    ----------
+    k, m:
+        Stripe geometry (one service serves one geometry; this is what
+        makes queue coalescing and Eq.-(1) accounting exact).
+    block_bytes:
+        Stripe block size.
+    library:
+        Coding library charged for simulated encode/decode time
+        (default: a probe-less :class:`DialgaEncoder`). Must match
+        (k, m) or :class:`GeometryMismatch` is raised.
+    hw:
+        Simulated testbed.
+    config:
+        :class:`ServiceConfig` knobs.
+    """
+
+    def __init__(self, k: int, m: int, *, block_bytes: int = 1024,
+                 library: CodingLibrary | None = None,
+                 hw: HardwareConfig | None = None,
+                 config: ServiceConfig | None = None):
+        self.k, self.m = k, m
+        self.block_bytes = block_bytes
+        self.config = config or ServiceConfig()
+        self.hw = hw or HardwareConfig()
+        if library is None:
+            library = DialgaEncoder(k, m, config=DialgaConfig(
+                use_probe=False, chunks=2))
+        if getattr(library, "k", k) != k or getattr(library, "m", m) != m:
+            raise GeometryMismatch(
+                f"library geometry ({library.k},{library.m}) != service "
+                f"({k},{m})")
+        self.library = library
+        self.store = PMStore(k, m, block_bytes=block_bytes)
+        self.queue = RequestQueue(self.config.max_queue_depth)
+        self.admission = AdmissionController(k, m, self.hw.pm,
+                                             d_max=self.config.d_max)
+        self.metrics = MetricsRegistry()
+        #: Simulated clock (ns); persists across :meth:`drain` calls.
+        self.clock_ns = 0.0
+        self.results: list[RequestResult] = []
+        self._pending: list[Request] = []
+        self._seq = 0
+
+    # -- client surface ----------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Hand one request to the service (processed on :meth:`drain`)."""
+        self._pending.append(request)
+
+    def submit_many(self, requests) -> None:
+        """Submit an iterable of requests."""
+        for req in requests:
+            self.submit(req)
+
+    def drain(self) -> list[RequestResult]:
+        """Run the event loop until every submitted request resolves.
+
+        Returns this drain's results (also appended to ``results``).
+        """
+        arrivals = sorted(enumerate(self._pending),
+                          key=lambda iv: (iv[1].arrival_ns, iv[0]))
+        self._pending = []
+        pending = [req for _, req in arrivals]
+        active: list[tuple[float, int, Batch, int, list[RequestResult]]] = []
+        out: list[RequestResult] = []
+        i = 0
+        while i < len(pending) or active:
+            next_arrival = pending[i].arrival_ns if i < len(pending) else math.inf
+            next_finish = active[0][0] if active else math.inf
+            if next_arrival <= next_finish:
+                req = pending[i]
+                i += 1
+                self.clock_ns = max(self.clock_ns, req.arrival_ns)
+                rejected = self._on_arrival(req)
+                if rejected is not None:
+                    out.append(rejected)
+            else:
+                finish, _, batch, threads, results = heapq.heappop(active)
+                self.clock_ns = max(self.clock_ns, finish)
+                self.admission.release(threads)
+                for res in results:
+                    res.latency_ns = finish - res.request.arrival_ns
+                    self.metrics.observe_latency(res.request.kind.value,
+                                                 res.latency_ns)
+                    self.metrics.inc("completed" if res.ok else "failed")
+                out.extend(results)
+            self._dispatch(active)
+        self.results.extend(out)
+        return out
+
+    # -- event handlers ----------------------------------------------------
+
+    def _batch_key(self, request: Request) -> BatchKey:
+        return BatchKey(request.kind, self.k, self.m, self.block_bytes)
+
+    def _on_arrival(self, request: Request) -> RequestResult | None:
+        """Queue an arrival; returns a REJECTED result when shed."""
+        self.metrics.inc("requests")
+        self.metrics.sample_queue_depth(self.queue.depth)
+        if not self.queue.push(self._batch_key(request), request):
+            # Dispatch invariant: the queue only backs up while the
+            # admission controller is at the Eq. (1) cap, so a full
+            # queue here IS the cap overflowing onto the client.
+            self.metrics.inc("admission_rejected")
+            if not self.admission.at_capacity:
+                self.metrics.inc("rejected_below_cap")  # must stay 0
+            return RequestResult(
+                request, RequestStatus.REJECTED,
+                error=(f"Eq. (1) cap: {self.admission.active_threads}/"
+                       f"{self.admission.capacity_threads} threads busy, "
+                       f"queue full at {self.queue.max_depth}"))
+        return None
+
+    def _dispatch(self, active: list) -> None:
+        """Launch coalesced batches while the Eq. (1) budget allows."""
+        threads = self.config.threads_per_job
+        while len(self.queue) and self.admission.try_admit(threads):
+            batch = self.queue.pop_batch(self.config.max_batch)
+            self.metrics.inc("batches")
+            if batch.coalesced:
+                self.metrics.inc("coalesced_requests", len(batch) - 1)
+            finish, results = self._execute(batch)
+            for res in results:
+                res.batch_size = len(batch)
+            self._seq += 1
+            heapq.heappush(active, (finish, self._seq, batch, threads, results))
+
+    # -- batch execution ---------------------------------------------------
+
+    def _with_retries(self, op, request: Request) -> tuple[RequestResult, float]:
+        """Run a store operation under the retry policy.
+
+        Returns the (partial) result plus the simulated backoff delay
+        the retries consumed.
+        """
+        policy = self.config.retry
+        retries, delay = 0, 0.0
+        while True:
+            try:
+                value = op()
+                result = RequestResult(request, RequestStatus.COMPLETED,
+                                       retries=retries,
+                                       value=value if isinstance(value, bytes) else b"")
+                return result, delay
+            except TransientFault as exc:
+                self.metrics.inc("faults_transient")
+                if retries + 1 >= policy.max_attempts:
+                    return RequestResult(request, RequestStatus.FAILED,
+                                         retries=retries, error=str(exc)), delay
+                retries += 1
+                self.metrics.inc("retries")
+                delay += policy.delay_ns(retries)
+            except KeyError:
+                return RequestResult(request, RequestStatus.FAILED,
+                                     retries=retries,
+                                     error=f"no such key {request.key!r}"), delay
+
+    def _coding_makespan(self, stripes: int, op: str = "encode",
+                         erasures: int = 0) -> float:
+        """Simulate one coalesced coding job of ``stripes`` stripes."""
+        if stripes < 1:
+            return 0.0
+        threads = self.config.threads_per_job
+        per_thread = max(1, math.ceil(stripes / threads)) * \
+            self.k * self.block_bytes
+        wl = Workload(k=self.k, m=self.m, block_bytes=self.block_bytes,
+                      nthreads=threads, data_bytes_per_thread=per_thread,
+                      op=op, erasures=erasures)
+        res = self.library.run(wl, self.hw)
+        switches = getattr(self.library, "policy_switches", 0)
+        if switches:
+            self.metrics.inc("policy_switches", switches)
+        return res.sim.makespan_ns
+
+    def _transfer_ns(self, nbytes: int) -> float:
+        """DDR-T transfer time for ``nbytes`` (GB/s == bytes/ns)."""
+        return nbytes / self.hw.pm.ctrl_bw_gbps
+
+    def _execute(self, batch: Batch) -> tuple[float, list[RequestResult]]:
+        """Run one batch; returns (finish time, per-request results)."""
+        base = self.config.base_latency_ns * len(batch)
+        if batch.key.kind is RequestKind.PUT:
+            return self._execute_puts(batch, base)
+        if batch.key.kind is RequestKind.GET:
+            return self._execute_gets(batch, base)
+        stripes = sum(req.stripes for req in batch.requests)
+        makespan = self._coding_makespan(stripes)
+        results = [RequestResult(req, RequestStatus.COMPLETED)
+                   for req in batch.requests]
+        return self.clock_ns + base + makespan, results
+
+    def _store_put(self, key: str, payload: bytes) -> None:
+        """Store a payload, sharding across stripes when oversized."""
+        if len(payload) > self.store.stripe_data_bytes:
+            self.store.put_sharded(key, payload)
+        else:
+            self.store.put(key, payload)
+
+    def _execute_puts(self, batch: Batch, base: float) -> tuple[float, list[RequestResult]]:
+        results, delay, stripes = [], 0.0, 0
+        cap = self.store.stripe_data_bytes
+        for req in batch.requests:
+            result, req_delay = self._with_retries(
+                lambda r=req: self._store_put(r.key, r.payload), req)
+            results.append(result)
+            delay += req_delay
+            if result.ok:
+                stripes += max(1, math.ceil(len(req.payload) / cap))
+        # The whole batch is ONE simulated encode job (coalescing): each
+        # successful put re-encoded its stripes' parity.
+        makespan = self._coding_makespan(stripes)
+        transfer = self._transfer_ns(sum(len(r.payload)
+                                         for r in batch.requests))
+        return self.clock_ns + base + delay + transfer + makespan, results
+
+    def _execute_gets(self, batch: Batch, base: float) -> tuple[float, list[RequestResult]]:
+        results, delay, nbytes, degraded_stripes = [], 0.0, 0, 0
+        for req in batch.requests:
+            degraded = (req.key in self.store.keys()
+                        and self.store.is_degraded(req.key))
+            result, req_delay = self._with_retries(
+                lambda r=req: self.store.get(r.key), req)
+            result.degraded = degraded and result.ok
+            if result.degraded:
+                degraded_stripes += 1
+                self.metrics.inc("degraded_reads")
+            results.append(result)
+            delay += req_delay
+            nbytes += len(result.value)
+        # Degraded reads pay a coalesced RS decode on top of the
+        # transfer (one erasure per stripe: the lost device's block).
+        erasures = min(self.m, self.k, max(1, len(self.store.lost_devices)))
+        makespan = self._coding_makespan(degraded_stripes, op="decode",
+                                         erasures=erasures)
+        return (self.clock_ns + base + delay + self._transfer_ns(nbytes)
+                + makespan, results)

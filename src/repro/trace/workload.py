@@ -59,6 +59,29 @@ class Workload:
         if self.simd not in ("avx512", "avx256"):
             raise ValueError(f"unknown SIMD {self.simd!r}")
 
+    @classmethod
+    def rs(cls, n: int, k: int, **kwargs) -> "Workload":
+        """Build a workload from the paper's RS(n, k) notation.
+
+        The paper labels codes RS(n, k) with n = k + m total blocks;
+        internally we speak (k, m). ``Workload.rs(12, 8)`` is
+        ``Workload(k=8, m=4)``. Extra keywords pass through unchanged.
+        """
+        if not 0 < k < n:
+            raise ValueError(f"RS(n, k) needs 0 < k < n, got n={n} k={k}")
+        return cls(k=k, m=n - k, **kwargs)
+
+    @classmethod
+    def paper(cls, n: int, k: int, *, block_kb: float = 1.0,
+              threads: int = 1, volume_mb: float = 1.0,
+              **kwargs) -> "Workload":
+        """RS(n, k) plus the paper's experimental units (KB blocks, MB
+        volumes): ``Workload.paper(12, 8, block_kb=4, threads=12)``."""
+        return cls.rs(n, k, block_bytes=int(block_kb * 1024),
+                      nthreads=threads,
+                      data_bytes_per_thread=int(volume_mb * (1 << 20)),
+                      **kwargs)
+
     @property
     def stripe_data_bytes(self) -> int:
         """Application data per stripe."""

@@ -28,6 +28,13 @@ def test_quickstart_example():
     assert "DIALGA policy" in out
 
 
+def test_service_traffic_demo_example():
+    out = _run("service_traffic_demo.py")
+    assert "Eq. (1) admission cap: 24 concurrent" in out
+    assert "0 failed: True" in out
+    assert "-- service metrics --" in out
+
+
 def test_fault_tolerance_drill_example():
     out = _run("fault_tolerance_drill.py")
     assert "24/24 objects bit-exact" in out

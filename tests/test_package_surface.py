@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.core",
     "repro.bench",
     "repro.pmstore",
+    "repro.service",
 ]
 
 
