@@ -6,12 +6,14 @@ Replays a burst of 36 simulated clients against
 read-buffer bound acting as the admission cap, same-geometry requests
 coalesced into single simulated encode jobs, transient device faults
 absorbed by retry, and a device loss mid-run answered with degraded
-(parity-reconstructed) reads. Ends with the service's metrics snapshot.
+(parity-reconstructed) reads. Ends with the service's metrics snapshot
+rendered in Prometheus exposition format (``repro.obs.prometheus_text``).
 
 Run:  python examples/service_traffic_demo.py
 """
 
 from repro import DialgaConfig, DialgaEncoder
+from repro.obs import prometheus_text
 from repro.pmstore import FaultInjector
 from repro.service import (
     ErasureCodingService,
@@ -73,10 +75,10 @@ assert all(r.ok for r in get_results), "a read failed after device loss"
 assert degraded, "device loss produced no degraded reads"
 
 # ------------------------------------------------------------- metrics
-print("\n3. final metrics snapshot")
+print("\n3. final metrics snapshot (Prometheus exposition format)")
 snapshot = svc.metrics.snapshot()
 assert snapshot["counters"], "metrics snapshot is empty"
-print(svc.metrics.render())
+print(prometheus_text(svc.metrics), end="")
 print(f"\ncoalescing: {svc.metrics.count('coalesced_requests')} requests "
       f"rode along in {svc.metrics.count('batches')} batches "
       f"(max batch {svc.config.max_batch}); simulated makespan "

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a trace file written by ``python -m repro.bench --trace``.
+
+Checks the Chrome ``trace_event`` JSON (or ``.jsonl`` span-log) schema
+that ``repro.obs.export`` promises:
+
+* Chrome: a ``traceEvents`` list where every record carries
+  ``name``/``ph``/``ts``/``pid``/``tid``, complete (``"X"``) events
+  carry a non-negative ``dur``, and instants carry a scope ``s``;
+* JSONL: every line parses as JSON and is a span (with
+  ``span_id``/``start_ns``/``end_ns``) or an event (with ``ts_ns``).
+
+``--require NAME`` (repeatable) additionally demands at least one
+record with that name — the run-all smoke job uses it to pin the
+acceptance triple: a coordinator policy switch, a simulator phase
+span and a service request span on one timeline.
+
+Exit status is non-zero when any problem is found.
+
+Usage:  python scripts/check_trace.py TRACE [--require NAME ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def check_chrome(data: object, problems: list[str]) -> list[str]:
+    """Validate Chrome trace_event object format; returns seen names."""
+    names: list[str] = []
+    if not isinstance(data, dict) or not isinstance(
+            data.get("traceEvents"), list):
+        problems.append("top level is not {'traceEvents': [...]}")
+        return names
+    for i, ev in enumerate(data["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        # Metadata records ("M": process/thread names) carry no ts.
+        required = (("name", "ph", "pid", "tid") if ph == "M"
+                    else ("name", "ph", "ts", "pid", "tid"))
+        for key in required:
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                problems.append(f"{where}: 'X' event needs dur >= 0")
+        elif ph == "i":
+            if ev.get("s") not in ("g", "p", "t"):
+                problems.append(f"{where}: instant needs scope s in g/p/t")
+        elif ph != "M":
+            problems.append(f"{where}: unexpected ph {ph!r}")
+        if isinstance(ev.get("ts"), (int, float)) and ev["ts"] < 0:
+            problems.append(f"{where}: negative ts")
+        if ph != "M":
+            names.append(ev.get("name", ""))
+    return names
+
+
+def check_jsonl(text: str, problems: list[str]) -> list[str]:
+    """Validate the JSONL span log; returns seen names."""
+    names: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"line {lineno}"
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: not JSON ({exc})")
+            continue
+        kind = rec.get("type")
+        if kind == "span":
+            for key in ("name", "span_id", "start_ns", "end_ns"):
+                if key not in rec:
+                    problems.append(f"{where}: span missing {key!r}")
+        elif kind == "event":
+            for key in ("name", "ts_ns"):
+                if key not in rec:
+                    problems.append(f"{where}: event missing {key!r}")
+        else:
+            problems.append(f"{where}: type must be span/event, got {kind!r}")
+        names.append(rec.get("name", ""))
+    return names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=pathlib.Path)
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a span/event with this name exists")
+    args = parser.parse_args(argv)
+
+    try:
+        text = args.trace.read_text()
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    problems: list[str] = []
+    if args.trace.suffix == ".jsonl":
+        names = check_jsonl(text, problems)
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"{args.trace}: not valid JSON ({exc})", file=sys.stderr)
+            return 1
+        names = check_chrome(data, problems)
+
+    seen = set(names)
+    for want in args.require:
+        if want not in seen:
+            problems.append(f"required name {want!r} absent from the trace")
+
+    for p in problems[:40]:
+        print(f"PROBLEM: {p}", file=sys.stderr)
+    if len(problems) > 40:
+        print(f"... and {len(problems) - 40} more", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{args.trace}: OK ({len(names)} records, "
+          f"{len(seen)} distinct names)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,16 @@ else
     echo "ruff not installed; skipping lint"
 fi
 
+echo "== trace smoke job (bench --trace + schema check) =="
+# A tiny traced bench run must produce a valid Chrome trace_event file
+# carrying the acceptance triple on one timeline: a coordinator policy
+# switch, a simulator phase span and a service request span.
+python -m repro.bench service --trace trace_smoke.json
+python scripts/check_trace.py trace_smoke.json \
+    --require coordinator.policy_switch \
+    --require sim.chunk \
+    --require service.request
+
 echo "== figure benchmarks (writes benchmarks/results/) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

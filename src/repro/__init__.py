@@ -15,6 +15,9 @@ Layers (bottom-up):
   (queueing, Eq. (1) admission control, retries, degraded reads).
 * :mod:`repro.bench` — experiment harness regenerating every paper
   figure.
+* :mod:`repro.obs` — simulated-clock tracing/telemetry across all of
+  the above (spans, events, Chrome-trace / JSONL / Prometheus
+  exporters); a no-op unless a tracer is installed.
 
 Quickstart
 ----------
@@ -45,6 +48,15 @@ from repro.libs import (
     Cerasure,
     GeometryMismatch,
     UnsupportedWorkload,
+)
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    get_tracer,
+    prometheus_text,
+    set_tracer,
+    use_tracer,
+    write_trace,
 )
 from repro.pmstore import FaultInjector, PMStore, TransientFault
 from repro.service import (
@@ -87,6 +99,13 @@ __all__ = [
     "RequestResult",
     "RetryPolicy",
     "MetricsRegistry",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "write_trace",
+    "prometheus_text",
     "HardwareConfig",
     "simulate",
     "SimResult",

@@ -42,6 +42,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="also write <id>.json next to the text report "
                              "(requires --out)")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        help="record every simulator phase, coordinator "
+                             "decision and service request span, then write "
+                             "a Chrome trace_event JSON (or a JSONL span "
+                             "log if the path ends in .jsonl)")
     args = parser.parse_args(argv)
 
     table = _experiments()
@@ -59,25 +64,46 @@ def main(argv: list[str] | None = None) -> int:
         print("use --list to see what is available", file=sys.stderr)
         return 2
 
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer, set_tracer
+        tracer = Tracer("repro.bench")
+        set_tracer(tracer)
+
     failed = 0
-    for name in names:
-        t0 = time.time()
-        result = table[name](args.volume)
-        text = result.render()
-        if args.plot:
-            from repro.bench.plotting import ascii_chart
-            text += "\n\n" + ascii_chart(result)
-        print(text)
-        print(f"  ({time.time() - t0:.1f}s)\n")
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{result.fig_id}.txt").write_text(text + "\n")
-            if args.json:
-                import json
-                (args.out / f"{result.fig_id}.json").write_text(
-                    json.dumps(result.to_dict(), indent=2) + "\n")
-        if not result.all_passed:
-            failed += 1
+    try:
+        for name in names:
+            t0 = time.time()
+            # Experiment marker spans live detached on their own track:
+            # the runs inside sequence themselves onto the timeline.
+            mark = (tracer.begin(f"bench.{name}", tracer.max_ts,
+                                 detached=True, track="bench")
+                    if tracer is not None else None)
+            result = table[name](args.volume)
+            if mark is not None:
+                mark.end(tracer.max_ts)
+            text = result.render()
+            if args.plot:
+                from repro.bench.plotting import ascii_chart
+                text += "\n\n" + ascii_chart(result)
+            print(text)
+            print(f"  ({time.time() - t0:.1f}s)\n")
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{result.fig_id}.txt").write_text(text + "\n")
+                if args.json:
+                    import json
+                    (args.out / f"{result.fig_id}.json").write_text(
+                        json.dumps(result.to_dict(), indent=2) + "\n")
+            if not result.all_passed:
+                failed += 1
+    finally:
+        if tracer is not None:
+            from repro.obs import set_tracer, write_trace
+            set_tracer(None)
+            path = write_trace(tracer, args.trace)
+            print(f"trace: {len(tracer.spans)} spans, "
+                  f"{len(tracer.events)} events -> {path}")
     if failed:
         print(f"{failed} experiment(s) had failing shape checks",
               file=sys.stderr)

@@ -30,6 +30,7 @@ from repro.core.buffer_friendly import (
 )
 from repro.core.hillclimb import HillClimber
 from repro.core.policy import Policy
+from repro.obs import get_tracer
 from repro.simulator.counters import Counters
 from repro.simulator.params import HardwareConfig
 from repro.trace.workload import Workload
@@ -102,9 +103,25 @@ class AdaptiveCoordinator:
     def _search_distance(self, start: int, upper: int) -> int:
         if self.probe is None:
             return start
+        tracer = get_tracer()
+        on_step = None
+        if tracer.enabled:
+            # Each accepted move becomes a timeline event; the probe
+            # simulations it ran land just before it, so max_ts is the
+            # natural "when" for a search that has no simulated clock
+            # of its own.
+            def on_step(step: int, x: int, value: float) -> None:
+                tracer.event("coordinator.hillclimb_step", tracer.max_ts,
+                             track="coordinator", step=step, distance=x,
+                             probe_ns_per_byte=value)
         climber = HillClimber(self.probe, lower=1, upper=upper,
-                              neighborhood=self.config.neighborhood)
+                              neighborhood=self.config.neighborhood,
+                              on_step=on_step)
         best, _ = climber.search(start)
+        if tracer.enabled:
+            tracer.event("coordinator.hillclimb_done", tracer.max_ts,
+                         track="coordinator", start=start, best=best,
+                         evaluations=climber.evaluations)
         return best
 
     def _high_pressure_policy(self) -> Policy:
@@ -164,11 +181,14 @@ class AdaptiveCoordinator:
 
     # -- runtime adaptation from sampled cache events ----------------------
 
-    def observe(self, sample: Counters, throughput_gbps: float | None = None) -> Policy:
+    def observe(self, sample: Counters, throughput_gbps: float | None = None,
+                now_ns: float | None = None) -> Policy:
         """Feed one counter-delta sample; returns the (possibly new) policy.
 
         ``sample`` is the delta since the previous sample (what a 1 kHz
-        PMU reader hands the coordinator).
+        PMU reader hands the coordinator). ``now_ns`` stamps any policy
+        switch on the tracer timeline; without it the sample index
+        times the sampling period stands in.
         """
         cfg = self.config
         self._samples_seen += 1
@@ -212,6 +232,16 @@ class AdaptiveCoordinator:
             self.switches += 1
             event = PolicySwitch(self._samples_seen, self.policy, new)
             self.switch_events.append(event)
+            tracer = get_tracer()
+            if tracer.enabled:
+                ts = (now_ns if now_ns is not None
+                      else self._samples_seen * cfg.sample_period_ns)
+                tracer.event("coordinator.policy_switch", ts,
+                             track="coordinator", sample=event.sample,
+                             old=self.policy.describe(),
+                             new=new.describe(),
+                             contention=contention,
+                             inefficient=inefficient)
             self.policy = new
             if self.on_switch is not None:
                 self.on_switch(event)

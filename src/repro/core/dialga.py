@@ -25,10 +25,11 @@ from repro.core.coordinator import AdaptiveCoordinator, CoordinatorConfig
 from repro.core.policy import Policy
 from repro.gf.arithmetic import GF
 from repro.libs.base import CodingLibrary, GeometryMismatch, LibraryResult
+from repro.obs import get_tracer
 from repro.simulator import HardwareConfig, SimResult, simulate
 from repro.simulator.engine import ThreadContext
 from repro.simulator.multicore import make_backends
-from repro.simulator.counters import Counters
+from repro.simulator.counters import Counters, CounterSampler
 from repro.trace import Trace, Workload, isal_trace
 
 
@@ -273,6 +274,19 @@ class DialgaEncoder(CodingLibrary):
 
     def _run_adaptive(self, wl: Workload, hw: HardwareConfig) -> SimResult:
         """Chunked execution: simulate, sample counters, re-decide."""
+        tracer = get_tracer()
+        with tracer.sequenced(0.0):
+            run_span = tracer.begin("dialga.run", 0.0, k=self.k, m=self.m,
+                                    nthreads=wl.nthreads,
+                                    block_bytes=wl.block_bytes)
+            result = self._run_adaptive_chunks(wl, hw, tracer)
+            tracer.end(run_span, result.makespan_ns,
+                       data_bytes=result.data_bytes,
+                       switches=self.policy_switches)
+        return result
+
+    def _run_adaptive_chunks(self, wl: Workload, hw: HardwareConfig,
+                             tracer) -> SimResult:
         coord = self.coordinator_for(wl, hw)
         self.last_coordinator = coord
         if wl.nthreads > 1:
@@ -284,12 +298,22 @@ class DialgaEncoder(CodingLibrary):
         total_stripes = wl.stripes_per_thread
         per_chunk = max(1, total_stripes // self.chunks)
         done = 0
-        last_snap = counters.snapshot()
+        # The chunk loop is the paper's PMU sampler: one delta per
+        # chunk boundary, handed to the coordinator and attached to
+        # the chunk's phase span.
+        sampler = CounterSampler(
+            counters, period_ns=coord.config.sample_period_ns)
         last_makespan = 0.0
+        chunk_idx = 0
         while done < total_stripes:
             n = min(per_chunk, total_stripes - done)
             policy = coord.policy
             self.policy_log.append(policy)
+            chunk_span = None
+            if tracer.enabled:
+                chunk_span = tracer.begin("sim.chunk", last_makespan,
+                                          chunk=chunk_idx, stripes=n,
+                                          policy=policy.describe())
             chunk_wl = wl.with_(data_bytes_per_thread=n * wl.stripe_data_bytes)
             for t, ctx in enumerate(contexts):
                 ctx.trace.extend(isal_trace(chunk_wl, hw.cpu,
@@ -298,13 +322,18 @@ class DialgaEncoder(CodingLibrary):
             done += n
             res = simulate([], hw, contexts=contexts,
                            drain=done >= total_stripes)
-            delta = counters.delta(last_snap)
-            last_snap = counters.snapshot()
+            delta = sampler.sample_now(res.makespan_ns)
             chunk_ns = res.makespan_ns - last_makespan
             chunk_tput = (n * wl.stripe_data_bytes * wl.nthreads
                           / chunk_ns) if chunk_ns > 0 else None
             last_makespan = res.makespan_ns
-            coord.observe(delta, throughput_gbps=chunk_tput)
+            if chunk_span is not None:
+                tracer.end(chunk_span, res.makespan_ns,
+                           throughput_gbps=chunk_tput,
+                           **delta.nonzero_dict("d_"))
+            coord.observe(delta, throughput_gbps=chunk_tput,
+                          now_ns=res.makespan_ns)
+            chunk_idx += 1
         times = [ctx.clock for ctx in contexts]
         data = sum(ctx.trace.data_bytes for ctx in contexts)
         return SimResult(makespan_ns=max(times), thread_times_ns=times,

@@ -26,17 +26,23 @@ class HillClimber:
         nearest 8 on each side).
     max_steps:
         Safety bound on climb iterations.
+    on_step:
+        Optional observer called after the initial evaluation and each
+        accepted move with ``(step, x, value)`` — the coordinator wires
+        this to tracer events so the climb is visible on the timeline.
     """
 
     def __init__(self, objective: Callable[[int], float],
                  lower: int = 1, upper: int = 4096,
-                 neighborhood: int = 16, max_steps: int = 64):
+                 neighborhood: int = 16, max_steps: int = 64,
+                 on_step: Callable[[int, int, float], None] | None = None):
         if lower > upper:
             raise ValueError("lower bound exceeds upper bound")
         self.objective = objective
         self.lower, self.upper = lower, upper
         self.neighborhood = neighborhood
         self.max_steps = max_steps
+        self.on_step = on_step
         self._cache: dict[int, float] = {}
         self.evaluations = 0
 
@@ -59,7 +65,9 @@ class HillClimber:
         """Climb from ``start``; returns ``(best_x, best_value)``."""
         x = min(max(start, self.lower), self.upper)
         best = self._eval(x)
-        for _ in range(self.max_steps):
+        if self.on_step is not None:
+            self.on_step(0, x, best)
+        for step in range(1, self.max_steps + 1):
             candidates = self._neighbors(x)
             if not candidates:
                 break
@@ -67,6 +75,8 @@ class HillClimber:
             v, c = min(vals)
             if v < best:
                 best, x = v, c
+                if self.on_step is not None:
+                    self.on_step(step, x, best)
             else:
                 break  # local optimum
         return x, best

@@ -1,0 +1,64 @@
+"""Trace well-formedness checks.
+
+Shared by the exporter tests and ``scripts/check_trace.py``: a trace is
+well-formed when every parent reference resolves, every finished span
+has ``end >= start``, and every span-attached event lies on a known
+span. These are the invariants the exporters rely on.
+"""
+
+from __future__ import annotations
+
+
+def check_spans(tracer) -> list[str]:
+    """Structural problems in a recorded trace (empty list = clean)."""
+    problems: list[str] = []
+    ids = {s.span_id for s in tracer.spans}
+    for s in tracer.spans:
+        if s.parent_id is not None and s.parent_id not in ids:
+            problems.append(
+                f"span {s.span_id} ({s.name!r}) has orphan parent "
+                f"{s.parent_id}")
+        if s.end_ns is not None and s.end_ns < s.start_ns:
+            problems.append(
+                f"span {s.span_id} ({s.name!r}) ends before it starts "
+                f"({s.end_ns} < {s.start_ns})")
+        if s.start_ns < 0:
+            problems.append(
+                f"span {s.span_id} ({s.name!r}) starts before t=0")
+    for e in tracer.events:
+        if e.span_id is not None and e.span_id not in ids:
+            problems.append(
+                f"event {e.name!r}@{e.ts_ns} references unknown span "
+                f"{e.span_id}")
+        if e.ts_ns < 0:
+            problems.append(f"event {e.name!r} at negative ts {e.ts_ns}")
+    return problems
+
+
+def check_containment(tracer) -> list[str]:
+    """Parent/child timestamp containment violations.
+
+    Children may legitimately outlive a parent that was closed early
+    (detached request spans), so this is reported separately from the
+    hard invariants of :func:`check_spans`.
+    """
+    problems: list[str] = []
+    by_id = {s.span_id: s for s in tracer.spans}
+    for s in tracer.spans:
+        if s.parent_id is None:
+            continue
+        parent = by_id.get(s.parent_id)
+        if parent is None:
+            continue
+        if s.start_ns < parent.start_ns - 1e-6:
+            problems.append(
+                f"span {s.span_id} ({s.name!r}) starts at {s.start_ns} "
+                f"before its parent {parent.name!r} at {parent.start_ns}")
+    return problems
+
+
+def assert_well_formed(tracer) -> None:
+    """Raise ``ValueError`` listing every structural problem found."""
+    problems = check_spans(tracer)
+    if problems:
+        raise ValueError("malformed trace:\n" + "\n".join(problems))

@@ -1,0 +1,201 @@
+"""Trace and metrics exporters.
+
+Three output formats, all dependency-free:
+
+* **JSONL span log** — one JSON object per line (spans then events),
+  trivially greppable and line-parseable;
+* **Chrome ``trace_event`` JSON** — loadable in ``chrome://tracing``
+  and Perfetto: spans become complete (``"ph": "X"``) events, point
+  events become instants (``"ph": "i"``), with one named track per
+  span ``track`` attribute;
+* **Prometheus exposition text** — renders a service
+  :class:`~repro.service.metrics.MetricsRegistry` snapshot in the
+  standard text format (counters, latency summaries with quantile
+  labels, queue gauges).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+
+def _clean_attrs(attrs: dict) -> dict:
+    """JSON-safe copy of span/event attributes."""
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+# -- JSONL span log --------------------------------------------------------
+
+def trace_records(tracer) -> list[dict]:
+    """Every span and event as plain dicts (spans first, then events,
+    each group in recording order)."""
+    records: list[dict] = []
+    for s in tracer.spans:
+        records.append({
+            "type": "span",
+            "name": s.name,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "start_ns": s.start_ns,
+            "end_ns": s.end_ns,
+            "attrs": _clean_attrs(s.attrs),
+        })
+    for e in tracer.events:
+        records.append({
+            "type": "event",
+            "name": e.name,
+            "span_id": e.span_id,
+            "ts_ns": e.ts_ns,
+            "attrs": _clean_attrs(e.attrs),
+        })
+    return records
+
+
+def to_jsonl(tracer) -> str:
+    """The whole trace as newline-delimited JSON."""
+    return "\n".join(json.dumps(r, sort_keys=True)
+                     for r in trace_records(tracer)) + "\n"
+
+
+def write_jsonl(tracer, path) -> pathlib.Path:
+    """Write the JSONL span log; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(tracer))
+    return path
+
+
+# -- Chrome trace_event ----------------------------------------------------
+
+def _track_of(name: str, attrs: dict) -> str:
+    """Display track: the ``track`` attribute, else the span-name prefix
+    (``sim.chunk`` -> ``sim``)."""
+    return str(attrs.get("track", name.split(".", 1)[0]))
+
+
+def chrome_trace(tracer) -> dict:
+    """The trace in Chrome ``trace_event`` JSON object format.
+
+    Timestamps are microseconds (the format's unit); simulated ns map
+    onto them directly, so 1 simulated us renders as 1 us. Unfinished
+    spans export with ``dur`` 0 and ``"unfinished": true``.
+    """
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": 1,
+                "tid": tids[track], "args": {"name": track},
+            })
+        return tids[track]
+
+    events.append({
+        "ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+        "args": {"name": getattr(tracer, "name", "repro")},
+    })
+    for s in tracer.spans:
+        args = _clean_attrs(s.attrs)
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        if not s.finished:
+            args["unfinished"] = True
+        events.append({
+            "ph": "X",
+            "name": s.name,
+            "cat": s.name.split(".", 1)[0],
+            "ts": s.start_ns / 1e3,
+            "dur": s.duration_ns / 1e3,
+            "pid": 1,
+            "tid": tid_for(_track_of(s.name, s.attrs)),
+            "args": args,
+        })
+    for e in tracer.events:
+        args = _clean_attrs(e.attrs)
+        if e.span_id is not None:
+            args["span_id"] = e.span_id
+        events.append({
+            "ph": "i",
+            "name": e.name,
+            "cat": e.name.split(".", 1)[0],
+            "ts": e.ts_ns / 1e3,
+            "s": "g",
+            "pid": 1,
+            "tid": tid_for(_track_of(e.name, e.attrs)),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path) -> pathlib.Path:
+    """Write Chrome ``trace_event`` JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer), indent=1) + "\n")
+    return path
+
+
+def write_trace(tracer, path) -> pathlib.Path:
+    """Write the trace in the format implied by the suffix:
+    ``.jsonl`` -> span log, anything else -> Chrome ``trace_event``."""
+    path = pathlib.Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(tracer, path)
+    return write_chrome_trace(tracer, path)
+
+
+# -- Prometheus text -------------------------------------------------------
+
+def _metric_name(raw: str) -> str:
+    """Sanitize a registry counter name into a Prometheus metric name."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in raw)
+
+
+def prometheus_text(metrics, *, prefix: str = "repro_service") -> str:
+    """Render a metrics snapshot in Prometheus exposition format.
+
+    ``metrics`` is a :class:`~repro.service.metrics.MetricsRegistry`
+    or its ``snapshot()`` dict. Counters become ``*_total`` counters,
+    per-operation latency histograms become summaries with quantile
+    labels, and the queue-depth gauge family rounds it out.
+    """
+    snap = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    lines: list[str] = []
+    for name in sorted(snap.get("counters", {})):
+        metric = f"{prefix}_{_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snap['counters'][name]}")
+    latency = snap.get("latency", {})
+    if latency:
+        metric = f"{prefix}_latency_ns"
+        lines.append(f"# TYPE {metric} summary")
+        for op in sorted(latency):
+            s = latency[op]
+            quantiles = [(0.5, s.get("p50_ns")), (0.9, s.get("p90_ns")),
+                         (0.95, s.get("p95_ns")), (0.99, s.get("p99_ns")),
+                         (0.999, s.get("p999_ns"))]
+            for q, value in quantiles:
+                if value is not None:
+                    lines.append(
+                        f'{metric}{{op="{op}",quantile="{q}"}} {value}')
+            lines.append(f'{metric}_sum{{op="{op}"}} '
+                         f'{s["mean_ns"] * s["count"]}')
+            lines.append(f'{metric}_count{{op="{op}"}} {s["count"]}')
+    queue = snap.get("queue")
+    if queue and queue.get("samples"):
+        for key, kind in (("max_depth", "gauge"), ("mean_depth", "gauge"),
+                          ("samples", "counter")):
+            metric = f"{prefix}_queue_{key}"
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {queue[key]}")
+    return "\n".join(lines) + "\n"

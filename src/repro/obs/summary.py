@@ -1,0 +1,120 @@
+"""Span-tree summaries and per-stage latency breakdowns.
+
+Turns a recorded trace back into something readable without a trace
+viewer: an indented span tree (the ``trace_explorer`` demo), per-name
+aggregates, and the service request-stage breakdown the bench
+``service`` scenario reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanNode:
+    """One span plus its children, in recording order."""
+
+    span: object
+    children: list["SpanNode"] = field(default_factory=list)
+
+
+def span_forest(tracer) -> list[SpanNode]:
+    """The trace's spans as parent/child trees (roots in record order).
+
+    Spans whose parent is missing from the trace are promoted to
+    roots rather than dropped.
+    """
+    nodes = {s.span_id: SpanNode(s) for s in tracer.spans}
+    roots: list[SpanNode] = []
+    for s in tracer.spans:
+        node = nodes[s.span_id]
+        if s.parent_id is not None and s.parent_id in nodes:
+            nodes[s.parent_id].children.append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def aggregate_by_name(tracer) -> dict[str, dict]:
+    """Per span-name count / total / mean duration (finished spans)."""
+    out: dict[str, dict] = {}
+    for s in tracer.spans:
+        if not s.finished:
+            continue
+        agg = out.setdefault(s.name, {"count": 0, "total_ns": 0.0})
+        agg["count"] += 1
+        agg["total_ns"] += s.duration_ns
+    for agg in out.values():
+        agg["mean_ns"] = agg["total_ns"] / agg["count"]
+    return out
+
+
+def render_span_tree(tracer, *, max_children: int = 8,
+                     max_depth: int | None = None) -> str:
+    """Indented tree of the whole trace with durations.
+
+    Sibling runs longer than ``max_children`` are elided with a
+    ``... (+n more)`` line so big sweeps stay printable.
+    """
+    lines: list[str] = []
+
+    def fmt(span) -> str:
+        dur = (f"{span.duration_ns / 1e3:10.1f} us" if span.finished
+               else "      open")
+        extra = ""
+        for key in ("policy", "status", "request_id", "chunk"):
+            if key in span.attrs:
+                extra += f" {key}={span.attrs[key]}"
+        return (f"{dur}  {span.name}"
+                f" [{span.start_ns / 1e3:.1f}..") + (
+                f"{span.end_ns / 1e3:.1f}]" if span.finished else "...]"
+                ) + extra
+
+    def walk(node: SpanNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        lines.append("  " * depth + fmt(node.span))
+        shown = node.children[:max_children]
+        for child in shown:
+            walk(child, depth + 1)
+        hidden = len(node.children) - len(shown)
+        if hidden > 0:
+            lines.append("  " * (depth + 1) + f"... (+{hidden} more)")
+
+    for root in span_forest(tracer):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def service_stage_breakdown(tracer) -> dict[str, list[float]]:
+    """Per-request stage durations (ns) recovered from request spans.
+
+    Stages, matching the service lifecycle:
+
+    * ``queue_wait`` — enqueue (span start) to the ``service.admitted``
+      event (dispatch instant);
+    * ``execute``    — admission to completion (batch base latency,
+      retries, transfer and the coalesced coding job);
+    * ``total``      — full arrival-to-completion latency.
+
+    Rejected and unfinished request spans are skipped.
+    """
+    admitted_at: dict[int, float] = {}
+    for e in tracer.events:
+        if e.name == "service.admitted" and e.span_id is not None:
+            admitted_at[e.span_id] = e.ts_ns
+    stages: dict[str, list[float]] = {
+        "queue_wait": [], "execute": [], "total": []}
+    for s in tracer.spans:
+        if s.name != "service.request" or not s.finished:
+            continue
+        if s.attrs.get("status") != "completed":
+            continue
+        admit = admitted_at.get(s.span_id)
+        if admit is None:
+            continue
+        stages["queue_wait"].append(admit - s.start_ns)
+        stages["execute"].append(s.end_ns - admit)
+        stages["total"].append(s.end_ns - s.start_ns)
+    return stages

@@ -21,12 +21,15 @@ class LatencyHistogram:
 
     def __init__(self):
         self._values: list[float] = []
-        self._sorted = True
+        #: Sorted copy, built lazily and invalidated on record — the
+        #: recording order of ``_values`` is never disturbed, and
+        #: repeated percentile reads share one sort.
+        self._sorted_cache: list[float] | None = None
 
     def record(self, value_ns: float) -> None:
         """Add one latency sample."""
         self._values.append(float(value_ns))
-        self._sorted = False
+        self._sorted_cache = None
 
     @property
     def count(self) -> int:
@@ -40,26 +43,56 @@ class LatencyHistogram:
     def max_ns(self) -> float:
         return max(self._values) if self._values else 0.0
 
+    def sorted_values(self) -> list[float]:
+        """Snapshot-stable ascending copy of every sample.
+
+        Built once per recording burst; callers may read it freely but
+        must not mutate it.
+        """
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._values)
+        return self._sorted_cache
+
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100]."""
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._values:
             return 0.0
-        if not self._sorted:
-            self._values.sort()
-            self._sorted = True
-        rank = max(1, round(p / 100 * len(self._values)))
-        return self._values[min(rank, len(self._values)) - 1]
+        values = self.sorted_values()
+        rank = max(1, round(p / 100 * len(values)))
+        return values[min(rank, len(values)) - 1]
+
+    @property
+    def p50(self) -> float:
+        """Median latency (ns)."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency (ns)."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency (ns)."""
+        return self.percentile(99)
+
+    @property
+    def p999(self) -> float:
+        """99.9th-percentile tail latency (ns)."""
+        return self.percentile(99.9)
 
     def summary(self) -> dict:
-        """count/mean/p50/p90/p99/max in one JSON-ready dict."""
+        """count/mean/percentiles/max in one JSON-ready dict."""
         return {
             "count": self.count,
             "mean_ns": self.mean_ns,
-            "p50_ns": self.percentile(50),
+            "p50_ns": self.p50,
             "p90_ns": self.percentile(90),
-            "p99_ns": self.percentile(99),
+            "p95_ns": self.p95,
+            "p99_ns": self.p99,
+            "p999_ns": self.p999,
             "max_ns": self.max_ns,
         }
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.core.dialga import DialgaConfig, DialgaEncoder
 from repro.libs.base import CodingLibrary, GeometryMismatch
+from repro.obs import get_tracer
 from repro.pmstore.faults import TransientFault
 from repro.pmstore.store import PMStore
 from repro.service.admission import AdmissionController
@@ -118,6 +119,18 @@ class ErasureCodingService:
         self.results: list[RequestResult] = []
         self._pending: list[Request] = []
         self._seq = 0
+        #: Open tracer spans per in-flight request (id(request) keyed —
+        #: requests are frozen and unique per submission).
+        self._req_spans: dict[int, object] = {}
+        self._req_seq = 0
+        #: Rebase onto the ambient tracer timeline: every service
+        #: clock starts at 0, so without this two services traced in
+        #: sequence would overlap in a viewer.
+        self._trace_base_ns = get_tracer().max_ts
+
+    def _ts(self, ns: float) -> float:
+        """A service-clock instant on the shared tracer timeline."""
+        return ns + self._trace_base_ns
 
     # -- client surface ----------------------------------------------------
 
@@ -161,6 +174,13 @@ class ErasureCodingService:
                     self.metrics.observe_latency(res.request.kind.value,
                                                  res.latency_ns)
                     self.metrics.inc("completed" if res.ok else "failed")
+                    span = self._req_spans.pop(id(res.request), None)
+                    if span is not None:
+                        span.end(self._ts(finish), status=res.status.value,
+                                 latency_ns=res.latency_ns,
+                                 retries=res.retries,
+                                 degraded=res.degraded,
+                                 batch_size=res.batch_size)
                 out.extend(results)
             self._dispatch(active)
         self.results.extend(out)
@@ -175,6 +195,21 @@ class ErasureCodingService:
         """Queue an arrival; returns a REJECTED result when shed."""
         self.metrics.inc("requests")
         self.metrics.sample_queue_depth(self.queue.depth)
+        tracer = get_tracer()
+        span = None
+        if tracer.enabled:
+            # Request spans interleave freely, so they live detached
+            # from the nesting stack, one display track per client.
+            self._req_seq += 1
+            span = tracer.begin(
+                "service.request", self._ts(request.arrival_ns),
+                detached=True,
+                request_id=f"{request.kind.value}-{self._req_seq}",
+                kind=request.kind.value, key=request.key,
+                client=request.client, track=f"client-{request.client}")
+            span.event("service.enqueue", self._ts(request.arrival_ns),
+                       queue_depth=self.queue.depth)
+            self._req_spans[id(request)] = span
         if not self.queue.push(self._batch_key(request), request):
             # Dispatch invariant: the queue only backs up while the
             # admission controller is at the Eq. (1) cap, so a full
@@ -182,6 +217,9 @@ class ErasureCodingService:
             self.metrics.inc("admission_rejected")
             if not self.admission.at_capacity:
                 self.metrics.inc("rejected_below_cap")  # must stay 0
+            if span is not None:
+                self._req_spans.pop(id(request), None)
+                span.end(self._ts(request.arrival_ns), status="rejected")
             return RequestResult(
                 request, RequestStatus.REJECTED,
                 error=(f"Eq. (1) cap: {self.admission.active_threads}/"
@@ -192,12 +230,29 @@ class ErasureCodingService:
     def _dispatch(self, active: list) -> None:
         """Launch coalesced batches while the Eq. (1) budget allows."""
         threads = self.config.threads_per_job
+        tracer = get_tracer()
         while len(self.queue) and self.admission.try_admit(threads):
             batch = self.queue.pop_batch(self.config.max_batch)
             self.metrics.inc("batches")
             if batch.coalesced:
                 self.metrics.inc("coalesced_requests", len(batch) - 1)
+            batch_span = None
+            if tracer.enabled:
+                batch_span = tracer.begin(
+                    "service.batch", self._ts(self.clock_ns),
+                    track="service",
+                    kind=batch.key.kind.value, requests=len(batch),
+                    coalesced=batch.coalesced,
+                    active_threads=self.admission.active_threads)
+                for req in batch.requests:
+                    span = self._req_spans.get(id(req))
+                    if span is not None:
+                        span.event("service.admitted",
+                                   self._ts(self.clock_ns),
+                                   batch_size=len(batch))
             finish, results = self._execute(batch)
+            if batch_span is not None:
+                tracer.end(batch_span, self._ts(finish))
             for res in results:
                 res.batch_size = len(batch)
             self._seq += 1
@@ -212,6 +267,7 @@ class ErasureCodingService:
         the retries consumed.
         """
         policy = self.config.retry
+        span = self._req_spans.get(id(request))
         retries, delay = 0, 0.0
         while True:
             try:
@@ -222,12 +278,20 @@ class ErasureCodingService:
                 return result, delay
             except TransientFault as exc:
                 self.metrics.inc("faults_transient")
+                if span is not None:
+                    span.event("service.fault",
+                               self._ts(self.clock_ns + delay),
+                               error=str(exc), attempt=retries + 1)
                 if retries + 1 >= policy.max_attempts:
                     return RequestResult(request, RequestStatus.FAILED,
                                          retries=retries, error=str(exc)), delay
                 retries += 1
                 self.metrics.inc("retries")
                 delay += policy.delay_ns(retries)
+                if span is not None:
+                    span.event("service.retry",
+                               self._ts(self.clock_ns + delay),
+                               attempt=retries, backoff_ns=delay)
             except KeyError:
                 return RequestResult(request, RequestStatus.FAILED,
                                      retries=retries,
@@ -244,7 +308,15 @@ class ErasureCodingService:
         wl = Workload(k=self.k, m=self.m, block_bytes=self.block_bytes,
                       nthreads=threads, data_bytes_per_thread=per_thread,
                       op=op, erasures=erasures)
-        res = self.library.run(wl, self.hw)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The coding job simulates on [0, makespan]; rebase it onto
+            # the service clock so simulator spans and request spans
+            # share one timeline.
+            with tracer.shifted(self._ts(self.clock_ns)):
+                res = self.library.run(wl, self.hw)
+        else:
+            res = self.library.run(wl, self.hw)
         switches = getattr(self.library, "policy_switches", 0)
         if switches:
             self.metrics.inc("policy_switches", switches)

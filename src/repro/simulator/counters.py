@@ -65,6 +65,19 @@ class Counters:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def nonzero_dict(self, prefix: str = "") -> dict:
+        """Non-zero raw counters as a flat dict (span attributes).
+
+        The tracer attaches these per-sample deltas to simulator phase
+        spans — the reproduction's analogue of a ``perf`` sample row.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value:
+                out[prefix + f.name] = value
+        return out
+
     # -- derived metrics -------------------------------------------------
 
     @property
@@ -111,6 +124,14 @@ class CounterSampler:
         """Return a delta sample if a period has elapsed, else None."""
         if now_ns - self._last_time < self.period_ns:
             return None
+        return self.sample_now(now_ns)
+
+    def sample_now(self, now_ns: float) -> Counters:
+        """Force a delta sample at ``now_ns``, resetting the period.
+
+        The DIALGA chunk loop samples at chunk boundaries rather than
+        on a fixed period; both paths share this delta/rebase step.
+        """
         delta = self.counters.delta(self._last_snap)
         self._last_time = now_ns
         self._last_snap = self.counters.snapshot()

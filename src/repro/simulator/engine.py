@@ -167,6 +167,7 @@ def run_single(trace: Trace, hw: HardwareConfig) -> tuple[float, Counters]:
     Returns ``(finish_time_ns, counters)``. The load/store backends are
     chosen per ``hw.load_source`` / ``hw.store_target``.
     """
+    from repro.obs import get_tracer
     from repro.simulator.memory import DRAMBackend, PMBackend
 
     counters = Counters()
@@ -184,6 +185,15 @@ def run_single(trace: Trace, hw: HardwareConfig) -> tuple[float, Counters]:
                         load_backend=backend_for(hw.load_source),
                         store_backend=backend_for(hw.store_target),
                         trace=trace)
-    finish = ctx.run()
-    ctx.cache.drain()
+    tracer = get_tracer()
+    if not tracer.enabled:
+        finish = ctx.run()
+        ctx.cache.drain()
+        return finish, counters
+    with tracer.sequenced(0.0):
+        span = tracer.begin("sim.run", 0.0, threads=1, ops=len(trace.ops))
+        finish = ctx.run()
+        ctx.cache.drain()
+        tracer.end(span, finish, data_bytes=trace.data_bytes,
+                   **counters.nonzero_dict("d_"))
     return finish, counters

@@ -14,6 +14,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro.obs import get_tracer
 from repro.simulator.counters import Counters
 from repro.simulator.engine import ThreadContext
 from repro.simulator.memory import DRAMBackend, PMBackend
@@ -106,6 +107,24 @@ def simulate(traces: list[Trace], hw: HardwareConfig,
         ]
     else:
         counters = contexts[0].counters
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _run(contexts, counters, batch_ops, drain)
+    t0 = min(ctx.clock for ctx in contexts)
+    before = counters.snapshot()
+    with tracer.sequenced(t0):
+        span = tracer.begin("sim.run", t0, threads=len(contexts),
+                            drain=drain)
+        result = _run(contexts, counters, batch_ops, drain)
+        tracer.end(span, result.makespan_ns,
+                   data_bytes=result.data_bytes,
+                   **counters.delta(before).nonzero_dict("d_"))
+    return result
+
+
+def _run(contexts: list[ThreadContext], counters: Counters,
+         batch_ops: int, drain: bool) -> SimResult:
+    """The scheduling loop proper (tracing handled by the caller)."""
     heap: list[tuple[float, int]] = [
         (ctx.clock, i) for i, ctx in enumerate(contexts) if not ctx.done
     ]

@@ -13,9 +13,61 @@ from repro.simulator.multicore import SimResult
 from repro.simulator.params import HardwareConfig
 
 
+def _compare_section(result: SimResult, baseline: SimResult) -> list[str]:
+    """Per-counter deltas against a baseline run.
+
+    Flags use the coordinator's §4.1.2 threshold language: average load
+    latency above 110% of the baseline reads as *contention*, useless-
+    prefetch growth above 150% as an *inefficient prefetcher*.
+    """
+    c, b = result.counters, baseline.counters
+
+    def pct(cur: float, ref: float) -> str:
+        if not ref:
+            return "   (new)" if cur else "      --"
+        return f"{(cur - ref) / ref:+8.1%}"
+
+    rows = [
+        ("makespan_ns", result.makespan_ns, baseline.makespan_ns),
+        ("throughput_gbps", result.throughput_gbps, baseline.throughput_gbps),
+        ("avg_load_latency_ns", c.avg_load_latency_ns, b.avg_load_latency_ns),
+        ("loads", c.loads, b.loads),
+        ("load_misses", c.load_misses, b.load_misses),
+        ("load_stall_ns", c.load_stall_ns, b.load_stall_ns),
+        ("hwpf_issued", c.hwpf_issued, b.hwpf_issued),
+        ("hwpf_useless", c.hwpf_useless, b.hwpf_useless),
+        ("swpf_issued", c.swpf_issued, b.swpf_issued),
+        ("swpf_late", c.swpf_late, b.swpf_late),
+        ("ctrl_read_bytes", c.ctrl_read_bytes, b.ctrl_read_bytes),
+        ("media_read_bytes", c.media_read_bytes, b.media_read_bytes),
+        ("buffer_evictions_unused", c.buffer_evictions_unused,
+         b.buffer_evictions_unused),
+    ]
+    lines = ["", "vs baseline:"]
+    for name, cur, ref in rows:
+        lines.append(f"  {cur:>16,.0f}  {name:<28} {pct(cur, ref)}"
+                     f"  (baseline {ref:,.0f})")
+    # The coordinator's two dynamic-switch signals, applied verbatim.
+    if b.loads and c.avg_load_latency_ns > 1.10 * b.avg_load_latency_ns:
+        lines.append("  !! contention: avg load latency exceeds 110% "
+                     "of the baseline (coordinator would flag this)")
+    base_upl = (b.hwpf_useless / b.loads) if b.loads else 0.0
+    cur_upl = (c.hwpf_useless / c.loads) if c.loads else 0.0
+    if base_upl > 1e-6 and cur_upl > 1.50 * base_upl:
+        lines.append("  !! inefficient prefetcher: useless-prefetch "
+                     "rate exceeds 150% of the baseline (coordinator "
+                     "would flag this)")
+    return lines
+
+
 def perf_report(result: SimResult, hw: HardwareConfig | None = None,
-                title: str = "simulation") -> str:
-    """Render a perf-stat-like text block for a finished simulation."""
+                title: str = "simulation",
+                compare: SimResult | None = None) -> str:
+    """Render a perf-stat-like text block for a finished simulation.
+
+    ``compare`` adds a per-counter delta section against a baseline
+    run, phrased with the coordinator's 110%/150% switching thresholds.
+    """
     c = result.counters
     hw = hw or HardwareConfig()
     ms = result.makespan_ns / 1e6
@@ -65,4 +117,6 @@ def perf_report(result: SimResult, hw: HardwareConfig | None = None,
         f"  {ms:.3f} ms simulated  "
         f"({result.throughput_gbps:.2f} GB/s over {len(result.thread_times_ns)} thread(s))",
     ]
+    if compare is not None:
+        lines += _compare_section(result, compare)
     return "\n".join(lines)

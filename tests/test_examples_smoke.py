@@ -32,7 +32,17 @@ def test_service_traffic_demo_example():
     out = _run("service_traffic_demo.py")
     assert "Eq. (1) admission cap: 24 concurrent" in out
     assert "0 failed: True" in out
-    assert "-- service metrics --" in out
+    # The closing snapshot renders in Prometheus exposition format.
+    assert "# TYPE repro_service_completed_total counter" in out
+    assert 'repro_service_latency_ns{op="put",quantile="0.5"}' in out
+
+
+def test_trace_explorer_demo_example():
+    out = _run("trace_explorer_demo.py")
+    assert "span tree (truncated):" in out
+    assert "coordinator decision log:" in out
+    assert "switch:" in out          # a live policy switch was traced
+    assert "service request stages" in out
 
 
 def test_fault_tolerance_drill_example():

@@ -1,0 +1,211 @@
+"""Exporter round-trip tests: Chrome trace_event schema, JSONL
+parseability, Prometheus text shape — plus a hypothesis-generated span
+workload that must survive every exporter well-formed."""
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Tracer,
+    assert_well_formed,
+    chrome_trace,
+    prometheus_text,
+    to_jsonl,
+    trace_records,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+def _sample_trace() -> Tracer:
+    tr = Tracer("sample")
+    run = tr.begin("sim.run", 0.0, threads=2, track="sim")
+    chunk = tr.begin("sim.chunk", 0.0, chunk=0)
+    tr.event("coordinator.policy_switch", 30.0, track="coordinator",
+             old="low", new="high")
+    tr.end(chunk, 50.0, d_loads=128)
+    tr.end(run, 50.0)
+    req = tr.begin("service.request", 60.0, detached=True,
+                   track="client-1", obj=None)
+    req.event("service.admitted", 61.0)
+    req.end(90.0, status="completed")
+    tr.begin("left.open", 95.0)   # deliberately unfinished
+    return tr
+
+
+class TestChromeTrace:
+    def test_schema_fields(self):
+        doc = chrome_trace(_sample_trace())
+        assert isinstance(doc["traceEvents"], list)
+        phs = {e["ph"] for e in doc["traceEvents"]}
+        assert phs == {"M", "X", "i"}
+        for e in doc["traceEvents"]:
+            assert {"ph", "name", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["dur"] >= 0 and "ts" in e
+            elif e["ph"] == "i":
+                assert e["s"] == "g" and "ts" in e
+
+    def test_tracks_become_tids_with_metadata(self):
+        doc = chrome_trace(_sample_trace())
+        meta = {e["args"]["name"]: e["tid"] for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "thread_name"}
+        # One named track per distinct `track` attr / name prefix.
+        assert {"sim", "coordinator", "client-1", "left"} <= set(meta)
+        by_name = {e["name"]: e for e in doc["traceEvents"]
+                   if e["ph"] != "M"}
+        assert by_name["service.request"]["tid"] == meta["client-1"]
+        assert (by_name["coordinator.policy_switch"]["tid"]
+                == meta["coordinator"])
+
+    def test_timestamps_are_microseconds(self):
+        doc = chrome_trace(_sample_trace())
+        req = next(e for e in doc["traceEvents"]
+                   if e["name"] == "service.request")
+        assert req["ts"] == 60.0 / 1e3
+        assert req["dur"] == 30.0 / 1e3
+
+    def test_unfinished_span_marked(self):
+        doc = chrome_trace(_sample_trace())
+        open_ev = next(e for e in doc["traceEvents"]
+                       if e["name"] == "left.open")
+        assert open_ev["args"]["unfinished"] is True
+        assert open_ev["dur"] == 0.0
+
+    def test_non_json_attrs_are_repred(self):
+        tr = Tracer()
+        s = tr.begin("x", 0.0, weird={1, 2})
+        tr.end(s, 1.0)
+        doc = chrome_trace(tr)
+        args = next(e for e in doc["traceEvents"]
+                    if e["name"] == "x")["args"]
+        assert isinstance(args["weird"], str)
+        json.dumps(doc)   # the whole document must serialize
+
+
+class TestJsonl:
+    def test_every_line_parses(self):
+        text = to_jsonl(_sample_trace())
+        lines = text.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == len(lines)
+        kinds = {r["type"] for r in records}
+        assert kinds == {"span", "event"}
+
+    def test_records_carry_identity_and_parentage(self):
+        records = trace_records(_sample_trace())
+        spans = [r for r in records if r["type"] == "span"]
+        chunk = next(r for r in spans if r["name"] == "sim.chunk")
+        run = next(r for r in spans if r["name"] == "sim.run")
+        assert chunk["parent_id"] == run["span_id"]
+        open_span = next(r for r in spans if r["name"] == "left.open")
+        assert open_span["end_ns"] is None
+
+    def test_write_trace_picks_format_from_suffix(self, tmp_path):
+        tr = _sample_trace()
+        chrome = write_trace(tr, tmp_path / "deep" / "t.json")
+        jsonl = write_trace(tr, tmp_path / "deep" / "t.jsonl")
+        doc = json.loads(chrome.read_text())
+        assert "traceEvents" in doc
+        for line in jsonl.read_text().strip().splitlines():
+            json.loads(line)
+
+    def test_writers_create_parent_dirs(self, tmp_path):
+        tr = _sample_trace()
+        assert write_jsonl(tr, tmp_path / "a" / "b" / "t.jsonl").exists()
+        assert write_chrome_trace(tr, tmp_path / "c" / "t.json").exists()
+
+
+class TestPrometheus:
+    def _registry(self) -> MetricsRegistry:
+        mx = MetricsRegistry()
+        mx.inc("completed", 3)
+        mx.inc("retries")
+        for v in (100.0, 200.0, 300.0, 400.0):
+            mx.observe_latency("put", v)
+        mx.sample_queue_depth(2)
+        mx.sample_queue_depth(4)
+        return mx
+
+    def test_counters_and_summary_shape(self):
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_service_completed_total counter" in text
+        assert "repro_service_completed_total 3" in text
+        assert 'repro_service_latency_ns{op="put",quantile="0.5"}' in text
+        assert 'repro_service_latency_ns{op="put",quantile="0.999"}' in text
+        assert 'repro_service_latency_ns_count{op="put"} 4' in text
+        assert "# TYPE repro_service_queue_max_depth gauge" in text
+
+    def test_accepts_snapshot_dict_and_custom_prefix(self):
+        snap = self._registry().snapshot()
+        text = prometheus_text(snap, prefix="ec")
+        assert "ec_completed_total 3" in text
+        assert 'ec_latency_ns_sum{op="put"}' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()).strip() == ""
+
+
+# -- property: generated traces survive every exporter ---------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["begin", "end", "event", "begin_detached"]),
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        st.sampled_from(["sim.run", "sim.chunk", "service.request",
+                         "service.admitted", "coordinator.policy_switch"]),
+    ),
+    min_size=0, max_size=60,
+)
+
+
+def _replay(ops) -> Tracer:
+    """Drive a tracer through an arbitrary op sequence.
+
+    Ends always close the *oldest* open span (so interleavings happen),
+    with the timestamp taken as-is — the tracer clamps it.
+    """
+    tr = Tracer("gen")
+    open_spans = []
+    for kind, ts, name in ops:
+        if kind == "begin":
+            open_spans.append(tr.begin(name, ts))
+        elif kind == "begin_detached":
+            open_spans.append(tr.begin(name, ts, detached=True))
+        elif kind == "event":
+            tr.event(name, ts)
+        elif kind == "end" and open_spans:
+            tr.end(open_spans.pop(0), ts)
+    return tr
+
+
+@given(_ops)
+def test_generated_traces_export_well_formed(ops):
+    tr = _replay(ops)
+    assert_well_formed(tr)
+
+    # Chrome: every record schema-complete, valid JSON, non-negative dur.
+    doc = chrome_trace(tr)
+    json.dumps(doc)
+    non_meta = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert len(non_meta) == len(tr.spans) + len(tr.events)
+    for e in non_meta:
+        assert e["ts"] >= 0
+        if e["ph"] == "X":
+            assert e["dur"] >= 0
+
+    # JSONL: line-parseable, spans precede events, ids consistent.
+    lines = to_jsonl(tr).strip().splitlines() if tr.spans or tr.events else []
+    records = [json.loads(line) for line in lines]
+    span_ids = {r["span_id"] for r in records if r["type"] == "span"}
+    assert len(span_ids) == len(tr.spans)
+    for r in records:
+        if r["type"] == "span":
+            assert r["end_ns"] is None or r["end_ns"] >= r["start_ns"]
+        if r["type"] == "event" and r["span_id"] is not None:
+            assert r["span_id"] in span_ids

@@ -1,0 +1,189 @@
+"""Unit tests for the tracer core: spans, nesting, rebasing, the null
+default and the process-wide installation protocol."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    assert_well_formed,
+    check_containment,
+    check_spans,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_begin_end_records_interval(self):
+        tr = Tracer()
+        span = tr.begin("work", 100.0, items=3)
+        tr.end(span, 250.0, status="done")
+        assert span.finished
+        assert span.start_ns == 100.0
+        assert span.end_ns == 250.0
+        assert span.duration_ns == 150.0
+        assert span.attrs == {"items": 3, "status": "done"}
+
+    def test_span_end_method_delegates_to_tracer(self):
+        tr = Tracer()
+        span = tr.begin("work", 0.0)
+        span.end(50.0)
+        assert span.end_ns == 50.0
+        assert tr.open_spans == []
+
+    def test_stack_nesting_sets_parent(self):
+        tr = Tracer()
+        outer = tr.begin("outer", 0.0)
+        inner = tr.begin("inner", 10.0)
+        assert inner.parent_id == outer.span_id
+        tr.end(inner, 20.0)
+        tr.end(outer, 30.0)
+        sibling = tr.begin("sibling", 40.0)
+        assert sibling.parent_id is None
+
+    def test_detached_span_is_root_and_not_stacked(self):
+        tr = Tracer()
+        outer = tr.begin("outer", 0.0)
+        det = tr.begin("request", 5.0, detached=True)
+        assert det.parent_id is None
+        # The stack is undisturbed: a new child still nests under outer.
+        child = tr.begin("child", 6.0)
+        assert child.parent_id == outer.span_id
+
+    def test_explicit_parent_overrides_stack(self):
+        tr = Tracer()
+        a = tr.begin("a", 0.0, detached=True)
+        tr.begin("b", 0.0)
+        c = tr.begin("c", 1.0, parent=a)
+        assert c.parent_id == a.span_id
+
+    def test_end_clamps_to_start(self):
+        tr = Tracer()
+        span = tr.begin("work", 100.0)
+        tr.end(span, 40.0)   # earlier than start: clamp, never negative
+        assert span.end_ns == 100.0
+        assert not check_spans(tr)
+
+    def test_out_of_order_end_of_interleaved_spans(self):
+        tr = Tracer()
+        a = tr.begin("a", 0.0)
+        b = tr.begin("b", 1.0)
+        tr.end(a, 10.0)      # a closed while b still open
+        assert tr.open_spans == [b]
+        tr.end(b, 11.0)
+        assert tr.open_spans == []
+
+    def test_events_attach_to_innermost_or_explicit_span(self):
+        tr = Tracer()
+        outer = tr.begin("outer", 0.0)
+        ev = tr.event("tick", 1.0)
+        assert ev.span_id == outer.span_id
+        det = tr.begin("req", 2.0, detached=True)
+        ev2 = det.event("mark", 3.0, n=1)
+        assert ev2.span_id == det.span_id and ev2.attrs == {"n": 1}
+        tr.end(outer, 4.0)
+        free = tr.event("lonely", 5.0)
+        assert free.span_id is None
+
+    def test_find_helpers_and_max_ts(self):
+        tr = Tracer()
+        s = tr.begin("x", 3.0)
+        tr.event("e", 7.0)
+        tr.end(s, 9.0)
+        assert tr.find_spans("x") == [s]
+        assert [e.name for e in tr.find_events("e")] == ["e"]
+        assert tr.max_ts == 9.0
+
+
+class TestRebasing:
+    def test_shifted_offsets_spans_and_events(self):
+        tr = Tracer()
+        with tr.shifted(1000.0):
+            s = tr.begin("inner", 0.0)
+            tr.event("e", 5.0)
+            tr.end(s, 10.0)
+        assert (s.start_ns, s.end_ns) == (1000.0, 1010.0)
+        assert tr.events[0].ts_ns == 1005.0
+        # Offsets nest additively and unwind.
+        with tr.shifted(100.0), tr.shifted(10.0):
+            assert tr.offset_ns == 110.0
+        assert tr.offset_ns == 0.0
+
+    def test_sequenced_lays_runs_end_to_end(self):
+        tr = Tracer()
+        for _ in range(2):
+            with tr.sequenced(0.0):
+                s = tr.begin("run", 0.0)
+                tr.end(s, 100.0)
+        first, second = tr.find_spans("run")
+        assert (first.start_ns, first.end_ns) == (0.0, 100.0)
+        assert (second.start_ns, second.end_ns) == (100.0, 200.0)
+
+    def test_sequenced_is_noop_inside_open_span(self):
+        tr = Tracer()
+        outer = tr.begin("outer", 500.0)
+        with tr.sequenced(0.0):
+            inner = tr.begin("inner", 510.0)
+            tr.end(inner, 520.0)
+        tr.end(outer, 530.0)
+        assert inner.start_ns == 510.0   # not shifted to max_ts
+        assert not check_containment(tr)
+
+
+class TestNullAndDefault:
+    def test_default_is_null_tracer(self):
+        tr = get_tracer()
+        assert isinstance(tr, NullTracer)
+        assert tr is NULL_TRACER
+        assert not tr.enabled
+
+    def test_null_tracer_is_inert(self):
+        tr = NullTracer()
+        span = tr.begin("x", 0.0, anything="goes")
+        span.end(10.0)
+        span.event("e", 5.0)
+        tr.event("e", 5.0)
+        with tr.shifted(100.0), tr.sequenced(0.0):
+            pass
+        assert tr.spans == () and tr.events == ()
+        assert tr.find_spans("x") == [] and tr.find_events("e") == []
+
+    def test_set_tracer_returns_previous_and_none_restores_null(self):
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            assert set_tracer(None) is tr
+        assert get_tracer() is NULL_TRACER
+        assert prev is NULL_TRACER
+
+    def test_use_tracer_restores_on_exit_even_on_error(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(tr):
+                assert get_tracer() is tr
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+
+class TestWellFormedness:
+    def test_clean_trace_passes(self):
+        tr = Tracer()
+        s = tr.begin("a", 0.0)
+        tr.event("e", 1.0)
+        tr.end(s, 2.0)
+        assert_well_formed(tr)
+
+    def test_orphan_parent_and_negative_ts_flagged(self):
+        tr = Tracer()
+        s = tr.begin("a", -5.0)
+        s.parent_id = 999
+        problems = check_spans(tr)
+        assert any("orphan parent" in p for p in problems)
+        assert any("before t=0" in p for p in problems)
+        with pytest.raises(ValueError, match="malformed trace"):
+            assert_well_formed(tr)
