@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Break the service on purpose and watch it heal itself.
+
+A chaos campaign is a timed fault schedule replayed on the simulated
+clock against a running :class:`~repro.service.ErasureCodingService`
+with a :class:`~repro.service.SelfHealer` attached:
+
+1. seeded base traffic puts objects and reads them back,
+2. scheduled actions corrupt, erase and storm at exact instants,
+3. the health monitor trips a circuit breaker per failing device,
+4. repairs and scrub slices run in idle gaps under the Eq. (1) cap,
+5. a durability auditor proves no acknowledged byte was lost.
+
+Run:  python examples/chaos_campaign_demo.py
+"""
+
+from repro.chaos import (
+    CANNED_CAMPAIGNS, Campaign, CampaignEngine, ChaosAction,
+)
+
+# ------------------------------------------ 1. a hand-rolled campaign
+print("1. a custom campaign: lose a device, scribble on a stripe,")
+print("   then read everything back while the healer works\n")
+
+campaign = Campaign(
+    name="demo_mixed_failure",
+    description="device loss + wild write under read traffic",
+    seed=42,
+    k=4, m=3, block_bytes=512,
+    duration_ns=8e7,
+    base_clients=4, objects_per_client=3,
+    actions=(
+        ChaosAction(at_ns=2e7, kind="device_loss", device=0,
+                    note="device 0 dies"),
+        ChaosAction(at_ns=3e7, kind="scribble", count=2, length=128,
+                    note="firmware scribbles on two blocks"),
+        ChaosAction(at_ns=4e7, kind="traffic_burst", op="get",
+                    nclients=4, objects_per_client=3,
+                    note="clients read through the damage"),
+    ),
+)
+report = CampaignEngine(campaign).run()
+print(report.render())
+
+# ------------------------------------------ 2. the canned acceptance run
+print("\n2. the canned kitchen-sink campaign (the acceptance bar:")
+print("   device loss + corruption wave + retry storm, still CLEAN)\n")
+
+sink = CANNED_CAMPAIGNS["kitchen_sink"](seed=0)
+sink_report = CampaignEngine(sink).run()
+print(sink_report.render())
+
+# ------------------------------------------ 3. the verdicts that matter
+print("\n3. verdicts")
+for r in (report, sink_report):
+    mttr_ms = r.mean_mttr_ns / 1e6
+    print(f"   {r.name:<20} availability={r.availability:.4f}  "
+          f"MTTR={mttr_ms:.2f}ms  durability "
+          f"{'CLEAN' if r.durability_clean else 'DIRTY'}")
+assert report.durability_clean and sink_report.durability_clean
+print("\nno acknowledged byte was lost or silently served corrupt.")

@@ -36,6 +36,14 @@ python scripts/check_trace.py trace_smoke.json \
     --require sim.chunk \
     --require service.request
 
+echo "== chaos smoke job (seeded campaign, durability audit must be clean) =="
+# A short seeded chaos campaign must end with zero acknowledged-write
+# loss; the scenario's own shape checks fail the run otherwise (exit 1).
+python -m repro.bench chaos --seed 0
+
+echo "== slow campaigns (soak tests deselected from tier-1) =="
+python -m pytest tests/ -m slow 2>&1 | tee slow_output.txt
+
 echo "== figure benchmarks (writes benchmarks/results/) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

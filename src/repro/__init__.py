@@ -18,6 +18,9 @@ Layers (bottom-up):
 * :mod:`repro.obs` — simulated-clock tracing/telemetry across all of
   the above (spans, events, Chrome-trace / JSONL / Prometheus
   exporters); a no-op unless a tracer is installed.
+* :mod:`repro.chaos` — deterministic fault-campaign engine driving
+  timed schedules (corruption, device loss, transient storms, bursts)
+  against the self-healing service, with durability auditing.
 
 Quickstart
 ----------
@@ -32,6 +35,15 @@ True
 """
 
 from repro._deprecation import ReproDeprecationWarning
+from repro.chaos import (
+    CANNED_CAMPAIGNS,
+    AuditReport,
+    Campaign,
+    CampaignEngine,
+    CampaignReport,
+    ChaosAction,
+    DurabilityAuditor,
+)
 from repro.codes import RSCode, LRCCode, Stripe
 from repro.core import (
     AdaptiveCoordinator,
@@ -58,13 +70,23 @@ from repro.obs import (
     use_tracer,
     write_trace,
 )
-from repro.pmstore import FaultInjector, PMStore, TransientFault
+from repro.pmstore import (
+    FaultEvent,
+    FaultInjector,
+    PMStore,
+    Scrubber,
+    ScrubReport,
+    TransientFault,
+)
 from repro.service import (
     ErasureCodingService,
+    HealthMonitor,
+    HealthState,
     MetricsRegistry,
     Request,
     RequestResult,
     RetryPolicy,
+    SelfHealer,
     ServiceConfig,
 )
 from repro.simulator import HardwareConfig, simulate, SimResult, Counters
@@ -92,9 +114,22 @@ __all__ = [
     "ReproDeprecationWarning",
     "PMStore",
     "FaultInjector",
+    "FaultEvent",
     "TransientFault",
+    "Scrubber",
+    "ScrubReport",
+    "ChaosAction",
+    "Campaign",
+    "CANNED_CAMPAIGNS",
+    "CampaignEngine",
+    "CampaignReport",
+    "DurabilityAuditor",
+    "AuditReport",
     "ErasureCodingService",
     "ServiceConfig",
+    "HealthMonitor",
+    "HealthState",
+    "SelfHealer",
     "Request",
     "RequestResult",
     "RetryPolicy",

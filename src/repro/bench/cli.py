@@ -15,12 +15,22 @@ import time
 
 def _experiments() -> dict:
     from repro.bench.ablations import ALL_ABLATIONS
+    from repro.bench.chaos_scenario import ALL_CHAOS_SCENARIOS
     from repro.bench.figures import ALL_FIGURES
     from repro.bench.service_scenario import ALL_SCENARIOS
     out = dict(ALL_FIGURES)
     out.update(ALL_ABLATIONS)
     out.update(ALL_SCENARIOS)
+    out.update(ALL_CHAOS_SCENARIOS)
     return out
+
+
+def _run_experiment(func, volume, seed):
+    """Call one experiment, forwarding ``seed`` only where supported."""
+    import inspect
+    if "seed" in inspect.signature(func).parameters:
+        return func(volume, seed=seed)
+    return func(volume)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,6 +47,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory to write <id>.txt reports into")
     parser.add_argument("--volume", type=int, default=None,
                         help="override per-point simulated volume (bytes)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic seed for seeded scenarios "
+                             "(e.g. the chaos campaigns)")
     parser.add_argument("--plot", action="store_true",
                         help="append an ASCII chart of the measured series")
     parser.add_argument("--json", action="store_true",
@@ -79,7 +92,7 @@ def main(argv: list[str] | None = None) -> int:
             mark = (tracer.begin(f"bench.{name}", tracer.max_ts,
                                  detached=True, track="bench")
                     if tracer is not None else None)
-            result = table[name](args.volume)
+            result = _run_experiment(table[name], args.volume, args.seed)
             if mark is not None:
                 mark.end(tracer.max_ts)
             text = result.render()

@@ -1,0 +1,54 @@
+"""Deterministic chaos campaigns (``repro.chaos``).
+
+The paper's reliability story (§2.1 error taxonomy) assumes a system
+that keeps serving correct data while media faults, device loss and
+overload happen *concurrently*. This package is the adversarial half of
+that demonstration: a fault-campaign engine that drives timed schedules
+of bit flips, scribbles, block/device loss, transient-fault storms and
+traffic bursts — all on the simulated clock, all seeded — against a
+running :class:`~repro.service.service.ErasureCodingService` with the
+self-healing loop (:mod:`repro.service.healing`) attached, and audits
+at the end that **no acknowledged write was lost or silently
+corrupted**.
+
+* :class:`~repro.chaos.campaign.Campaign` /
+  :class:`~repro.chaos.campaign.ChaosAction` — a declarative, seeded
+  fault schedule; canned campaigns in
+  :data:`~repro.chaos.campaign.CANNED_CAMPAIGNS`.
+* :class:`~repro.chaos.engine.CampaignEngine` — interleaves traffic,
+  faults and self-healing deterministically; trace-instrumented via
+  :mod:`repro.obs`.
+* :class:`~repro.chaos.audit.DurabilityAuditor` — records every
+  acknowledged write and verifies all of them at campaign end.
+* :class:`~repro.chaos.report.CampaignReport` — MTTR, availability and
+  durability statistics, rendered byte-identically for a given seed.
+
+Run one from the CLI: ``python -m repro.bench chaos --seed 0``.
+"""
+
+from repro.chaos.audit import AuditReport, DurabilityAuditor
+from repro.chaos.campaign import (
+    CANNED_CAMPAIGNS,
+    Campaign,
+    ChaosAction,
+    corruption_wave,
+    kitchen_sink,
+    retry_storm,
+    single_device_loss,
+)
+from repro.chaos.engine import CampaignEngine
+from repro.chaos.report import CampaignReport
+
+__all__ = [
+    "ChaosAction",
+    "Campaign",
+    "CANNED_CAMPAIGNS",
+    "single_device_loss",
+    "corruption_wave",
+    "retry_storm",
+    "kitchen_sink",
+    "CampaignEngine",
+    "DurabilityAuditor",
+    "AuditReport",
+    "CampaignReport",
+]

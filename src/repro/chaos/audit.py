@@ -1,0 +1,105 @@
+"""Durability auditing: every acknowledged byte must survive.
+
+The auditor sits beside the service and watches request results: each
+acknowledged PUT is recorded as ``key -> sha256(payload)``; each
+successful GET is checked against the recorded digest (catching *silent*
+corruption the moment it reaches a client). At campaign end
+:meth:`DurabilityAuditor.verify` reads every acknowledged key straight
+from the store and classifies it intact / corrupted / lost — the
+campaign's ground-truth durability verdict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.service.request import RequestKind
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class AuditReport:
+    """End-of-campaign durability verdict."""
+
+    acknowledged: int = 0
+    intact: int = 0
+    corrupted: list[str] = field(default_factory=list)
+    lost: list[str] = field(default_factory=list)
+    #: Mid-campaign GETs whose payload was checked against the digest.
+    read_checks: int = 0
+    #: Mid-campaign GETs that returned wrong bytes (served-silent
+    #: corruption — a durability escape even if later scrubbed).
+    read_mismatches: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when every acknowledged write survived, bit-exact, and
+        no client was ever served corrupt bytes."""
+        return (not self.corrupted and not self.lost
+                and self.read_mismatches == 0)
+
+    def summary(self) -> str:
+        """One deterministic report line."""
+        verdict = "CLEAN" if self.clean else "DIRTY"
+        return (f"acknowledged={self.acknowledged} intact={self.intact} "
+                f"lost={len(self.lost)} corrupted={len(self.corrupted)} "
+                f"read_checks={self.read_checks} "
+                f"read_mismatches={self.read_mismatches}  [{verdict}]")
+
+
+class DurabilityAuditor:
+    """Records acknowledged writes; verifies them against the store."""
+
+    def __init__(self):
+        #: Latest acknowledged digest per key (overwrites supersede).
+        self._acked: dict[str, str] = {}
+        self.read_checks = 0
+        self.read_mismatches = 0
+        self.mismatched_keys: list[str] = []
+
+    @property
+    def acknowledged_keys(self) -> list[str]:
+        """Keys with at least one acknowledged write (sorted)."""
+        return sorted(self._acked)
+
+    def observe(self, results) -> None:
+        """Ingest one drain's :class:`~repro.service.request.
+        RequestResult` list: record acked PUTs, check served GETs."""
+        for res in results:
+            if not res.ok:
+                continue
+            if res.request.kind is RequestKind.PUT:
+                self._acked[res.request.key] = _digest(res.request.payload)
+            elif res.request.kind is RequestKind.GET:
+                expect = self._acked.get(res.request.key)
+                if expect is None:
+                    continue
+                self.read_checks += 1
+                if _digest(res.value) != expect:
+                    self.read_mismatches += 1
+                    self.mismatched_keys.append(res.request.key)
+
+    def verify(self, store) -> AuditReport:
+        """Read every acknowledged key back and classify it.
+
+        Reads go straight to the store (not through the service) so the
+        verdict covers the *data*, independent of service availability.
+        """
+        report = AuditReport(acknowledged=len(self._acked),
+                             read_checks=self.read_checks,
+                             read_mismatches=self.read_mismatches)
+        for key in self.acknowledged_keys:
+            try:
+                value = store.get(key)
+            except (KeyError, ValueError):
+                report.lost.append(key)
+                continue
+            if _digest(value) == self._acked[key]:
+                report.intact += 1
+            else:
+                report.corrupted.append(key)
+        return report

@@ -1,0 +1,234 @@
+"""Campaign and action schemas, plus the canned campaigns.
+
+A :class:`Campaign` is pure data: geometry, base-traffic shape, a seed
+and a tuple of timed :class:`ChaosAction` entries. The
+:class:`~repro.chaos.engine.CampaignEngine` owns all behavior, so
+campaigns are trivially serializable, comparable and replayable —
+the same campaign (same seed) produces a byte-identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Action kinds the engine knows how to apply.
+ACTION_KINDS = frozenset({
+    "bit_flip",         # silent media corruption (count random blocks)
+    "scribble",         # silent software wild-write (count blocks)
+    "block_loss",       # detected erasure of count random blocks
+    "device_loss",      # correlated loss of one block position
+    "transient_storm",  # window of operation-level transient faults
+    "traffic_burst",    # extra put or get wave starting at the action
+})
+
+
+@dataclass(frozen=True, kw_only=True)
+class ChaosAction:
+    """One timed entry of a fault schedule.
+
+    Attributes
+    ----------
+    at_ns:
+        When the action fires, on the service's simulated clock.
+    kind:
+        One of :data:`ACTION_KINDS`.
+    device:
+        Target block position (``device_loss``; random targets
+        otherwise).
+    count:
+        How many faults to inject (``bit_flip`` / ``scribble`` /
+        ``block_loss``).
+    length:
+        Scribble run length in bytes.
+    duration_ns, rate:
+        Storm window length and per-operation fault probability
+        (``transient_storm``).
+    op, nclients, objects_per_client, payload_bytes, mean_gap_ns:
+        Burst shape (``traffic_burst``; ``op`` is ``put`` or ``get`` —
+        a get burst re-reads the base traffic's keys).
+    note:
+        Free-form label echoed in the campaign report.
+    """
+
+    at_ns: float
+    kind: str
+    device: int = 0
+    count: int = 1
+    length: int = 64
+    duration_ns: float = 0.0
+    rate: float = 0.8
+    op: str = "put"
+    nclients: int = 4
+    objects_per_client: int = 2
+    payload_bytes: int = 1024
+    mean_gap_ns: float = 2_000.0
+    note: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(
+                f"unknown action kind {self.kind!r}; "
+                f"expected one of {sorted(ACTION_KINDS)}")
+        if self.at_ns < 0:
+            raise ValueError("actions cannot fire before t=0")
+        if self.kind == "transient_storm" and self.duration_ns <= 0:
+            raise ValueError("a storm needs duration_ns > 0")
+        if self.kind == "traffic_burst" and self.op not in ("put", "get"):
+            raise ValueError(f"burst op must be put|get, got {self.op!r}")
+
+    def describe(self) -> str:
+        """One deterministic log line for the campaign report."""
+        ms = self.at_ns / 1e6
+        if self.kind == "device_loss":
+            detail = f"device={self.device}"
+        elif self.kind == "transient_storm":
+            detail = (f"rate={self.rate:.2f} "
+                      f"for {self.duration_ns / 1e6:.2f}ms")
+        elif self.kind == "traffic_burst":
+            detail = (f"{self.op} x{self.nclients}c"
+                      f"x{self.objects_per_client}")
+        elif self.kind == "scribble":
+            detail = f"count={self.count} len={self.length}B"
+        else:
+            detail = f"count={self.count}"
+        note = f"  ({self.note})" if self.note else ""
+        return f"t={ms:8.2f}ms  {self.kind:<15} {detail}{note}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class Campaign:
+    """A complete, replayable chaos schedule.
+
+    Base traffic is generated from ``seed``: every client PUTs its
+    objects early in the run, then reads them back across the rest of
+    the window — so there is always acknowledged data on the line when
+    the faults land.
+    """
+
+    name: str
+    description: str = ""
+    seed: int = 0
+    k: int = 4
+    m: int = 3
+    block_bytes: int = 512
+    duration_ns: float = 1e8
+    base_clients: int = 6
+    objects_per_client: int = 3
+    payload_bytes: int = 900
+    mean_gap_ns: float = 20_000.0
+    actions: tuple[ChaosAction, ...] = field(default=())
+
+    def __post_init__(self):
+        if self.duration_ns <= 0:
+            raise ValueError("campaign needs duration_ns > 0")
+        late = [a for a in self.actions if a.at_ns > self.duration_ns]
+        if late:
+            raise ValueError(
+                f"{len(late)} action(s) scheduled past the campaign "
+                f"duration {self.duration_ns} ns")
+
+    def with_seed(self, seed: int) -> "Campaign":
+        """The same schedule under a different seed."""
+        return replace(self, seed=seed)
+
+    def schedule(self) -> list[ChaosAction]:
+        """Actions in firing order (stable for equal times)."""
+        return sorted(self.actions, key=lambda a: a.at_ns)
+
+
+def single_device_loss(seed: int = 0) -> Campaign:
+    """One device dies mid-run; reads degrade, the breaker trips, the
+    repair queue rebuilds every stripe and the device recovers."""
+    return Campaign(
+        name="single_device_loss",
+        description="one correlated device failure, self-healed",
+        seed=seed,
+        actions=(
+            ChaosAction(at_ns=3e7, kind="device_loss", device=1,
+                        note="device 1 dies"),
+            ChaosAction(at_ns=3.2e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        note="clients read through the loss"),
+        ),
+    )
+
+
+def corruption_wave(seed: int = 0) -> Campaign:
+    """A burst of silent corruption (bit flips + scribbles) that only
+    checksum scrubbing can find."""
+    return Campaign(
+        name="corruption_wave",
+        description="silent media corruption wave, scrub-detected",
+        seed=seed,
+        actions=(
+            ChaosAction(at_ns=2.5e7, kind="bit_flip", count=5,
+                        note="media flips"),
+            ChaosAction(at_ns=3e7, kind="scribble", count=3, length=96,
+                        note="wild writes"),
+            ChaosAction(at_ns=5e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        note="read-back under corruption"),
+        ),
+    )
+
+
+def retry_storm(seed: int = 0) -> Campaign:
+    """A transient-fault storm during a traffic burst: every operation
+    hiccups, jittered backoff de-synchronizes the retries."""
+    return Campaign(
+        name="retry_storm",
+        description="transient-fault storm absorbed by jittered retry",
+        seed=seed,
+        actions=(
+            ChaosAction(at_ns=3e7, kind="transient_storm",
+                        duration_ns=3e7, rate=0.7,
+                        note="controller hiccups"),
+            ChaosAction(at_ns=3.2e7, kind="traffic_burst", op="put",
+                        nclients=5, objects_per_client=2,
+                        note="burst inside the storm"),
+        ),
+    )
+
+
+def kitchen_sink(seed: int = 0) -> Campaign:
+    """Everything at once: device loss, then a corruption wave, then a
+    retry storm under burst load, plus stray block losses — the
+    acceptance campaign that must still end durability-clean."""
+    return Campaign(
+        name="kitchen_sink",
+        description="device loss + corruption wave + retry storm, "
+                    "concurrently self-healed",
+        seed=seed,
+        duration_ns=2e8,
+        actions=(
+            ChaosAction(at_ns=2.5e7, kind="device_loss", device=2,
+                        note="device 2 dies"),
+            ChaosAction(at_ns=3e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        note="degraded read wave"),
+            ChaosAction(at_ns=6e7, kind="bit_flip", count=4,
+                        note="corruption wave begins"),
+            ChaosAction(at_ns=6.5e7, kind="scribble", count=2, length=80,
+                        note="corruption wave continues"),
+            ChaosAction(at_ns=9e7, kind="block_loss", count=2,
+                        note="stray region losses"),
+            ChaosAction(at_ns=1.1e8, kind="transient_storm",
+                        duration_ns=3e7, rate=0.6,
+                        note="retry storm"),
+            ChaosAction(at_ns=1.15e8, kind="traffic_burst", op="put",
+                        nclients=5, objects_per_client=2,
+                        note="burst inside the storm"),
+            ChaosAction(at_ns=1.5e8, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        note="final read wave"),
+        ),
+    )
+
+
+#: The canned campaign library, by name.
+CANNED_CAMPAIGNS = {
+    "single_device_loss": single_device_loss,
+    "corruption_wave": corruption_wave,
+    "retry_storm": retry_storm,
+    "kitchen_sink": kitchen_sink,
+}

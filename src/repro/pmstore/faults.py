@@ -131,3 +131,38 @@ class FaultInjector:
                 raise TransientFault(f"transient {op} failure on {key!r}")
 
         return hook
+
+    def storm_hook(self, clock_fn: Callable[[], float], *,
+                   start_ns: float, end_ns: float, rate: float = 0.8,
+                   max_failures_per_key: int = 2,
+                   ops: tuple[str, ...] = ("put", "get"),
+                   ) -> Callable[[str, str], None]:
+        """A *time-windowed* transient-fault storm.
+
+        Like :meth:`transient_hook` but active only while the simulated
+        clock (read through ``clock_fn``, e.g. ``lambda:
+        service.clock_ns``) is inside ``[start_ns, end_ns)`` — the chaos
+        engine's "retry storm" primitive. The per-key failure cap keeps
+        a retrying caller convergent even at ``rate=1.0``.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if end_ns <= start_ns:
+            raise ValueError(f"empty storm window [{start_ns}, {end_ns})")
+        failures: dict[tuple[str, str], int] = {}
+
+        def hook(op: str, key: str) -> None:
+            if op not in ops or not start_ns <= clock_fn() < end_ns:
+                return
+            seen = failures.get((op, key), 0)
+            if seen >= max_failures_per_key:
+                return
+            if self.rng.random() < rate:
+                failures[(op, key)] = seen + 1
+                self.events.append(
+                    FaultEvent("transient", -1, -1,
+                               f"storm {op} {key!r}"))
+                raise TransientFault(
+                    f"storm: transient {op} failure on {key!r}")
+
+        return hook

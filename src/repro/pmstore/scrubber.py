@@ -6,11 +6,19 @@ decoding distance on error location. The standard system design (and
 this scrubber) locates corruption with per-block checksums, *converts*
 it to erasures, and repairs through parity: exactly the
 detect-locate-repair loop the paper's reliability discussion assumes.
+
+A scrub can cover the whole store (the default) or any subset of
+stripes — the service's background scrub scheduler walks the store in
+paced slices so scrubbing never starves foreground traffic of its
+Eq. (1) thread budget. Outcomes can be recorded into any counter sink
+with an ``inc(name, by)`` method (duck-typed so this layer never
+imports the service's :class:`~repro.service.metrics.MetricsRegistry`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.pmstore.store import PMStore
 
@@ -31,10 +39,21 @@ class ScrubReport:
 
 
 class Scrubber:
-    """Checksum-based scrub-and-repair over a :class:`PMStore`."""
+    """Checksum-based scrub-and-repair over a :class:`PMStore`.
 
-    def __init__(self, store: PMStore):
+    ``metrics`` is an optional counter sink (anything with
+    ``inc(name, by=1)``); every scrub records ``scrub_stripes_scanned``,
+    ``scrub_corrupt_blocks``, ``scrub_repaired_blocks`` and
+    ``scrub_unrepairable_stripes`` into it.
+    """
+
+    def __init__(self, store: PMStore, metrics=None):
         self.store = store
+        self.metrics = metrics
+
+    def _inc(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None and by:
+            self.metrics.inc(name, by)
 
     def locate(self, sid: int) -> list[int]:
         """Blocks of stripe ``sid`` whose checksum no longer matches."""
@@ -46,11 +65,13 @@ class Scrubber:
             and self.store._checksum(blocks[i]) != stripe.checksums[i]
         ]
 
-    def scrub(self, repair: bool = True) -> ScrubReport:
-        """Scan every stripe; optionally convert corruption to erasures
-        and repair through parity."""
+    def scrub(self, repair: bool = True,
+              stripes: Iterable[int] | None = None) -> ScrubReport:
+        """Scan stripes (all by default, or the given subset); optionally
+        convert corruption to erasures and repair through parity."""
         report = ScrubReport()
-        for sid in range(self.store.num_stripes):
+        sids = range(self.store.num_stripes) if stripes is None else stripes
+        for sid in sids:
             report.stripes_scanned += 1
             corrupt = self.locate(sid)
             for block in corrupt:
@@ -71,4 +92,9 @@ class Scrubber:
                 report.repaired_blocks += self.store.repair(sid)
             except ValueError:
                 report.unrepairable_stripes.append(sid)
+        self._inc("scrub_stripes_scanned", report.stripes_scanned)
+        self._inc("scrub_corrupt_blocks", len(report.corrupt_blocks))
+        self._inc("scrub_repaired_blocks", report.repaired_blocks)
+        self._inc("scrub_unrepairable_stripes",
+                  len(report.unrepairable_stripes))
         return report

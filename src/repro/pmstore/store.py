@@ -85,13 +85,18 @@ class PMStore:
     def __init__(self, k: int, m: int, block_bytes: int = 4096,
                  lrc_l: int | None = None,
                  library: CodingLibrary | None = None,
-                 hw: HardwareConfig | None = None):
+                 hw: HardwareConfig | None = None,
+                 verify_reads: bool = False):
         self.k, self.m = k, m
         self.block_bytes = block_bytes
         self.lrc_l = lrc_l
         self.code = LRCCode(k, m, lrc_l) if lrc_l else RSCode(k, m)
         self.library = library
         self.hw = hw or HardwareConfig()
+        #: Verify checksums (and repair mismatches) before serving reads
+        #: — catches silent corruption at read time instead of waiting
+        #: for the next scrub, at one CRC pass per get.
+        self.verify_reads = verify_reads
         self.stats = StoreStats()
         self._stripes: list[_Stripe] = []
         self._objects: dict[str, ObjectMeta] = {}
@@ -170,6 +175,31 @@ class PMStore:
         stripe.parity = fresh.parity
         stripe.checksums = fresh.checksums
 
+    def verify_stripe(self, sid: int, repair: bool = True) -> list[int]:
+        """Checksum-verify every non-lost block of stripe ``sid``.
+
+        Mismatching blocks (silent corruption) are converted to
+        erasures; with ``repair`` they are rebuilt through parity on the
+        spot (best-effort — an unrepairable stripe keeps its loss marks
+        for the scrubber/repair queue to deal with). Returns the
+        stripe-global indices found corrupt.
+        """
+        stripe = self._stripes[sid]
+        blocks = self.blocks_of(sid)
+        corrupt = [
+            i for i in range(len(blocks))
+            if i not in stripe.lost
+            and self._checksum(blocks[i]) != stripe.checksums[i]
+        ]
+        for block in corrupt:
+            stripe.lost.add(block)
+        if corrupt and repair:
+            try:
+                self.repair(sid)
+            except ValueError:
+                pass  # beyond parity budget: leave the erasure marks
+        return corrupt
+
     # -- public object API ------------------------------------------------------
 
     def put(self, key: str, value: bytes) -> ObjectMeta:
@@ -184,8 +214,14 @@ class PMStore:
         sid = None
         for i, s in enumerate(self._stripes):
             if s.used + len(value) <= self.stripe_data_bytes and not s.lost:
-                sid = i
-                break
+                # Write-path verify: re-encoding parity over a silently
+                # corrupted neighbor block would *launder* the corruption
+                # (fresh parity and checksums computed from bad bytes).
+                # Catch and repair it before touching the stripe.
+                self.verify_stripe(i)
+                if not s.lost:
+                    sid = i
+                    break
         if sid is None:
             sid = self._new_stripe()
         stripe = self._stripes[sid]
@@ -208,6 +244,8 @@ class PMStore:
         meta = self._objects[key]
         if meta.stripe == -1:  # shard manifest: reassemble transparently
             return self.get_sharded(key)
+        if self.verify_reads:
+            self.verify_stripe(meta.stripe)
         stripe = self._stripes[meta.stripe]
         blocks_needed = set(
             range(meta.offset // self.block_bytes,
@@ -270,6 +308,18 @@ class PMStore:
         s = self._stripes[sid]
         return np.vstack([s.data, s.parity])
 
+    def meta_of(self, key: str) -> ObjectMeta:
+        """Placement metadata of one stored object."""
+        return self._objects[key]
+
+    def lost_blocks(self, sid: int) -> frozenset[int]:
+        """Stripe-global indices currently marked lost in stripe ``sid``."""
+        return frozenset(self._stripes[sid].lost)
+
+    def stripes_with_losses(self) -> list[int]:
+        """Stripe ids that currently carry loss marks (repair backlog)."""
+        return [sid for sid, s in enumerate(self._stripes) if s.lost]
+
     def mark_lost(self, sid: int, block: int) -> None:
         """Declare a block erased (device region failed)."""
         total = self.k + self.parity_blocks
@@ -306,6 +356,13 @@ class PMStore:
         rebuilt."""
         self._lost_devices.discard(device)
         return self.repair_all()
+
+    def unmark_device(self, device: int) -> None:
+        """Stop marking ``device`` lost in new stripes, *without* the
+        bulk rebuild of :meth:`restore_device` — for callers (the
+        self-healing repair queue) that have already rebuilt its blocks
+        stripe-by-stripe under their own pacing."""
+        self._lost_devices.discard(device)
 
     def is_degraded(self, key: str) -> bool:
         """Whether reading ``key`` right now requires parity repair."""

@@ -17,10 +17,22 @@ and :mod:`repro.core` modeling sustained multi-client traffic —
   injected transient faults;
 * :class:`~repro.service.metrics.MetricsRegistry` — latency
   percentiles, queue depth, rejections, retries, policy switches;
-* :mod:`repro.service.traffic` — seeded multi-client request streams.
+* :mod:`repro.service.traffic` — seeded multi-client request streams;
+* :mod:`repro.service.health` / :mod:`repro.service.healing` — the
+  self-healing loop: per-device circuit breakers
+  (:class:`~repro.service.health.HealthMonitor`), a priority
+  :class:`~repro.service.healing.RepairQueue`, paced background
+  scrubbing and breaker-driven device recovery, all run in the event
+  loop's idle gaps under the Eq. (1) thread budget.
 """
 
 from repro.service.admission import AdmissionController, eq1_thread_cap
+from repro.service.health import (
+    HealthMonitor,
+    HealthState,
+    HealthTransition,
+)
+from repro.service.healing import RepairQueue, ScrubScheduler, SelfHealer
 from repro.service.metrics import LatencyHistogram, MetricsRegistry
 from repro.service.queue import Batch, BatchKey, RequestQueue, encode_coalesced
 from repro.service.request import (
@@ -34,6 +46,12 @@ from repro.service.service import ErasureCodingService, ServiceConfig
 from repro.service.traffic import client_key, get_wave, put_wave
 
 __all__ = [
+    "HealthMonitor",
+    "HealthState",
+    "HealthTransition",
+    "RepairQueue",
+    "ScrubScheduler",
+    "SelfHealer",
     "AdmissionController",
     "eq1_thread_cap",
     "LatencyHistogram",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import zlib
 from dataclasses import dataclass, field
 
 from repro.core.dialga import DialgaConfig, DialgaEncoder
@@ -63,6 +64,11 @@ class ServiceConfig:
         Exponential-backoff schedule for transient faults.
     base_latency_ns:
         Fixed per-request service overhead (parse, index, commit).
+    verify_reads:
+        Checksum-verify (and repair) every stripe touched by a GET
+        before serving it. Off by default — it trades read cost for
+        the guarantee that silent corruption can never reach a client;
+        the chaos engine turns it on.
     """
 
     threads_per_job: int = 1
@@ -71,6 +77,7 @@ class ServiceConfig:
     d_max: int | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     base_latency_ns: float = 2_000.0
+    verify_reads: bool = False
 
 
 class ErasureCodingService:
@@ -109,11 +116,15 @@ class ErasureCodingService:
                 f"library geometry ({library.k},{library.m}) != service "
                 f"({k},{m})")
         self.library = library
-        self.store = PMStore(k, m, block_bytes=block_bytes)
+        self.store = PMStore(k, m, block_bytes=block_bytes,
+                             verify_reads=self.config.verify_reads)
         self.queue = RequestQueue(self.config.max_queue_depth)
         self.admission = AdmissionController(k, m, self.hw.pm,
                                              d_max=self.config.d_max)
         self.metrics = MetricsRegistry()
+        #: Optional :class:`~repro.service.healing.SelfHealer` run in
+        #: the event loop's idle gaps (see :meth:`attach_healer`).
+        self.healer = None
         #: Simulated clock (ns); persists across :meth:`drain` calls.
         self.clock_ns = 0.0
         self.results: list[RequestResult] = []
@@ -143,6 +154,24 @@ class ErasureCodingService:
         for req in requests:
             self.submit(req)
 
+    def attach_healer(self, healer) -> None:
+        """Attach a :class:`~repro.service.healing.SelfHealer`: from now
+        on the event loop spends its idle simulated time on background
+        scrubbing, priority repairs and breaker-driven device recovery."""
+        healer.attach(self)
+        self.healer = healer
+
+    def run_maintenance(self, until_ns: float) -> float:
+        """Let the attached healer work the idle clock up to
+        ``until_ns`` (no-op without a healer); returns when it stopped.
+
+        :meth:`drain` does this automatically inside request gaps; call
+        it directly to model quiet periods between traffic waves.
+        """
+        if self.healer is None:
+            return self.clock_ns
+        return self.healer.run_window(self, self.clock_ns, until_ns)
+
     def drain(self) -> list[RequestResult]:
         """Run the event loop until every submitted request resolves.
 
@@ -158,6 +187,14 @@ class ErasureCodingService:
         while i < len(pending) or active:
             next_arrival = pending[i].arrival_ns if i < len(pending) else math.inf
             next_finish = active[0][0] if active else math.inf
+            if (self.healer is not None and not active
+                    and self.clock_ns < next_arrival < math.inf):
+                # An idle gap on the simulated clock: no batch in
+                # flight, next arrival still in the future. Hand it to
+                # the self-healing loop (repairs, paced scrubbing,
+                # breaker recovery) — "opportunistic maintenance
+                # between requests".
+                self.healer.run_window(self, self.clock_ns, next_arrival)
             if next_arrival <= next_finish:
                 req = pending[i]
                 i += 1
@@ -268,6 +305,11 @@ class ErasureCodingService:
         """
         policy = self.config.retry
         span = self._req_spans.get(id(request))
+        # Jitter de-sync token: stable per request identity, so the
+        # same request jitters identically across replays while
+        # different requests spread out (breaking retry storms).
+        token = zlib.crc32(
+            f"{request.kind.value}:{request.key}:{request.client}".encode())
         retries, delay = 0, 0.0
         while True:
             try:
@@ -278,6 +320,8 @@ class ErasureCodingService:
                 return result, delay
             except TransientFault as exc:
                 self.metrics.inc("faults_transient")
+                if self.healer is not None:
+                    self.healer.on_transient(self.clock_ns + delay)
                 if span is not None:
                     span.event("service.fault",
                                self._ts(self.clock_ns + delay),
@@ -287,7 +331,7 @@ class ErasureCodingService:
                                          retries=retries, error=str(exc)), delay
                 retries += 1
                 self.metrics.inc("retries")
-                delay += policy.delay_ns(retries)
+                delay += policy.delay_ns(retries, token=token)
                 if span is not None:
                     span.event("service.retry",
                                self._ts(self.clock_ns + delay),
@@ -296,6 +340,14 @@ class ErasureCodingService:
                 return RequestResult(request, RequestStatus.FAILED,
                                      retries=retries,
                                      error=f"no such key {request.key!r}"), delay
+            except ValueError as exc:
+                # Unrecoverable at request time (e.g. a degraded read
+                # over a stripe whose losses exceed the parity budget).
+                # Fail the request — never crash the event loop — and
+                # leave the stripe to the repair queue / scrubber.
+                self.metrics.inc("faults_unrecoverable")
+                return RequestResult(request, RequestStatus.FAILED,
+                                     retries=retries, error=str(exc)), delay
 
     def _coding_makespan(self, stripes: int, op: str = "encode",
                          erasures: int = 0) -> float:
@@ -374,6 +426,8 @@ class ErasureCodingService:
             if result.degraded:
                 degraded_stripes += 1
                 self.metrics.inc("degraded_reads")
+                if self.healer is not None:
+                    self.healer.on_degraded_read(req.key, self.clock_ns)
             results.append(result)
             delay += req_delay
             nbytes += len(result.value)

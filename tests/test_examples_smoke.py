@@ -45,6 +45,13 @@ def test_trace_explorer_demo_example():
     assert "service request stages" in out
 
 
+def test_chaos_campaign_demo_example():
+    out = _run("chaos_campaign_demo.py")
+    assert "durability CLEAN" in out
+    assert "kitchen_sink" in out
+    assert "no acknowledged byte was lost" in out
+
+
 def test_fault_tolerance_drill_example():
     out = _run("fault_tolerance_drill.py")
     assert "24/24 objects bit-exact" in out

@@ -1,0 +1,210 @@
+"""Coverage for the under-tested fault paths.
+
+Satellites of the chaos PR: scribble corruption end-to-end, stripes
+damaged beyond the parity budget (unrepairable), transient faults
+raised mid-batch, the time-windowed storm hook, and the write-path
+verify that stops silent corruption from being laundered into fresh
+parity.
+"""
+
+import pytest
+
+from repro.pmstore import FaultInjector, PMStore, Scrubber, TransientFault
+from repro.service import ErasureCodingService, Request, ServiceConfig
+from repro.service.metrics import MetricsRegistry
+
+
+def make_store(k=4, m=2, block_bytes=256, nobjs=6, payload=200):
+    store = PMStore(k, m, block_bytes=block_bytes)
+    for i in range(nobjs):
+        store.put(f"obj{i}", bytes([i % 251]) * payload)
+    return store
+
+
+# -- scribble ---------------------------------------------------------------
+
+
+def test_scribble_detected_and_repaired_by_scrub():
+    store = make_store()
+    inj = FaultInjector(store, seed=3)
+    ev = inj.scribble(stripe=0, block=1, length=64)
+    assert ev.kind == "scribble"
+    report = Scrubber(store).scrub()
+    assert (0, 1) in report.corrupt_blocks
+    assert report.repaired_blocks >= 1
+    assert Scrubber(store).scrub().clean
+
+
+def test_scribble_on_parity_block_is_located():
+    store = make_store(k=4, m=2)
+    inj = FaultInjector(store, seed=5)
+    inj.scribble(stripe=0, block=4, length=32)  # first parity block
+    report = Scrubber(store).scrub(repair=False)
+    assert (0, 4) in report.corrupt_blocks
+
+
+def test_scribble_records_metrics_sink():
+    store = make_store()
+    inj = FaultInjector(store, seed=7)
+    inj.scribble(stripe=0, block=0)
+    metrics = MetricsRegistry()
+    Scrubber(store, metrics=metrics).scrub()
+    assert metrics.count("scrub_stripes_scanned") == store.num_stripes
+    assert metrics.count("scrub_corrupt_blocks") == 1
+    assert metrics.count("scrub_repaired_blocks") >= 1
+    assert metrics.count("scrub_unrepairable_stripes") == 0
+
+
+# -- beyond the parity budget ----------------------------------------------
+
+
+def test_multi_fault_stripe_exceeding_m_is_unrepairable():
+    store = make_store(k=4, m=2)
+    for block in (0, 1, 2):  # three erasures > m=2
+        store.mark_lost(0, block)
+    with pytest.raises(ValueError, match="data loss"):
+        store.repair(0)
+
+
+def test_scrub_flags_unrepairable_and_counts_it():
+    store = make_store(k=4, m=2)
+    inj = FaultInjector(store, seed=11)
+    for block in (0, 1, 2):
+        inj.bit_flip(stripe=0, block=block, nbits=3)
+    metrics = MetricsRegistry()
+    report = Scrubber(store, metrics=metrics).scrub()
+    assert 0 in report.unrepairable_stripes
+    assert metrics.count("scrub_unrepairable_stripes") == 1
+
+
+def test_service_get_on_unrepairable_stripe_fails_cleanly():
+    """A degraded read past the budget must FAIL, never crash the loop."""
+    svc = ErasureCodingService(4, 2, block_bytes=256)
+    svc.submit(Request.put("victim", b"x" * 900))
+    svc.drain()
+    sid = svc.store.meta_of("victim").stripe
+    for block in (0, 1, 2):
+        svc.store.mark_lost(sid, block)
+    svc.submit(Request.get("victim", arrival_ns=svc.clock_ns + 1.0))
+    (res,) = svc.drain()
+    assert not res.ok
+    assert svc.metrics.count("faults_unrecoverable") == 1
+
+
+# -- transient faults mid-batch --------------------------------------------
+
+
+def test_transient_fault_mid_batch_isolated_to_one_request():
+    """One poisoned key inside a coalesced batch: only it retries; the
+    other requests in the same batch complete untouched."""
+    svc = ErasureCodingService(4, 2, block_bytes=256,
+                               config=ServiceConfig(max_batch=8))
+
+    def poison(op, key):
+        if op == "put" and key == "poisoned":
+            raise TransientFault("mid-batch hiccup")
+
+    calls = []
+    svc.store.add_fault_hook(lambda op, key: calls.append(key))
+    svc.store.add_fault_hook(poison)
+    svc.submit_many([
+        Request.put("a", b"1" * 100, arrival_ns=0.0),
+        Request.put("poisoned", b"2" * 100, arrival_ns=0.1),
+        Request.put("b", b"3" * 100, arrival_ns=0.2),
+    ])
+    results = {r.request.key: r for r in svc.drain()}
+    assert results["a"].ok and results["a"].retries == 0
+    assert results["b"].ok and results["b"].retries == 0
+    assert not results["poisoned"].ok
+    assert results["poisoned"].retries == 3  # exhausted max_attempts=4
+    assert "poisoned" in calls  # the hook really fired inside the batch
+
+
+def test_transient_fault_mid_batch_retry_succeeds():
+    svc = ErasureCodingService(4, 2, block_bytes=256)
+    inj = FaultInjector(svc.store, seed=0)
+    svc.store.add_fault_hook(inj.transient_hook(
+        rate=1.0, max_failures_per_key=1))
+    svc.submit_many([Request.put(f"k{i}", b"v" * 64, arrival_ns=float(i))
+                     for i in range(4)])
+    results = svc.drain()
+    assert all(r.ok for r in results)
+    assert all(r.retries == 1 for r in results)
+    assert svc.metrics.count("faults_transient") == 4
+
+
+# -- the storm hook ---------------------------------------------------------
+
+
+def test_storm_hook_only_fires_inside_window():
+    store = make_store()
+    inj = FaultInjector(store, seed=1)
+    clock = {"ns": 0.0}
+    store.add_fault_hook(inj.storm_hook(
+        lambda: clock["ns"], start_ns=100.0, end_ns=200.0, rate=1.0,
+        max_failures_per_key=99))
+    store.put("before", b"x")          # clock 0: outside the window
+    clock["ns"] = 150.0
+    with pytest.raises(TransientFault, match="storm"):
+        store.put("during", b"x")
+    clock["ns"] = 250.0
+    store.put("after", b"x")           # past the window again
+
+
+def test_storm_hook_validates():
+    inj = FaultInjector(make_store(), seed=0)
+    with pytest.raises(ValueError):
+        inj.storm_hook(lambda: 0.0, start_ns=5.0, end_ns=5.0)
+    with pytest.raises(ValueError):
+        inj.storm_hook(lambda: 0.0, start_ns=0.0, end_ns=1.0, rate=1.5)
+
+
+def test_storm_hook_respects_per_key_cap():
+    store = make_store()
+    inj = FaultInjector(store, seed=1)
+    clock = {"ns": 50.0}
+    store.add_fault_hook(inj.storm_hook(
+        lambda: clock["ns"], start_ns=0.0, end_ns=100.0, rate=1.0,
+        max_failures_per_key=2))
+    for _ in range(2):
+        with pytest.raises(TransientFault):
+            store.put("key", b"x")
+    store.put("key", b"x")  # third attempt sails through
+
+
+# -- write-path verify ------------------------------------------------------
+
+
+def test_put_does_not_launder_silent_corruption():
+    """Writing into a stripe with a silently corrupted neighbor must
+    repair the neighbor first — not bake the bad bytes into fresh
+    parity and checksums."""
+    store = PMStore(4, 2, block_bytes=256)
+    store.put("victim", b"A" * 200)
+    inj = FaultInjector(store, seed=2)
+    inj.bit_flip(stripe=0, block=0, nbits=4)   # victim's block, silent
+    # A later put lands in the same (not-full) stripe and would
+    # re-encode parity over the corrupt block.
+    store.put("neighbor", b"B" * 200)
+    assert store.get("victim") == b"A" * 200
+    assert Scrubber(store).scrub().clean
+
+
+def test_verify_reads_repairs_before_serving():
+    store = PMStore(4, 2, block_bytes=256, verify_reads=True)
+    store.put("obj", b"C" * 600)
+    inj = FaultInjector(store, seed=4)
+    inj.scribble(stripe=0, block=1, length=48)
+    assert store.get("obj") == b"C" * 600    # served bit-exact
+    assert Scrubber(store).scrub().clean     # and healed in place
+
+
+def test_verify_stripe_reports_and_repairs():
+    store = PMStore(4, 2, block_bytes=256)
+    store.put("obj", b"D" * 512)
+    inj = FaultInjector(store, seed=6)
+    inj.bit_flip(stripe=0, block=2, nbits=1)
+    corrupt = store.verify_stripe(0)
+    assert corrupt == [2]
+    assert store.lost_blocks(0) == frozenset()
+    assert store.verify_stripe(0) == []

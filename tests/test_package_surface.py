@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.bench",
     "repro.pmstore",
     "repro.service",
+    "repro.chaos",
 ]
 
 
