@@ -36,6 +36,12 @@ python scripts/check_trace.py trace_smoke.json \
     --require sim.chunk \
     --require service.request
 
+echo "== bench sweep smoke job (parallel ≡ serial ≡ warm, perf baseline) =="
+# The smoke grid runs serial, parallel (--workers 2) and warm-cache and
+# exits non-zero unless all three produce bit-identical results; the
+# report doubles as the parallel-speedup perf baseline.
+python -m repro.bench sweep --grid smoke --workers 2 --json BENCH_sweep.json
+
 echo "== chaos smoke job (seeded campaign, durability audit must be clean) =="
 # A short seeded chaos campaign must end with zero acknowledged-write
 # loss; the scenario's own shape checks fail the run otherwise (exit 1).

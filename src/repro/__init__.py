@@ -15,6 +15,9 @@ Layers (bottom-up):
   (queueing, Eq. (1) admission control, retries, degraded reads).
 * :mod:`repro.bench` — experiment harness regenerating every paper
   figure.
+* :mod:`repro.parallel` — deterministic process-pool sweep execution
+  (:func:`run_sweep`) and content-addressed trace/simulation caching;
+  parallel and warm-cache runs are bit-identical to serial ones.
 * :mod:`repro.obs` — simulated-clock tracing/telemetry across all of
   the above (spans, events, Chrome-trace / JSONL / Prometheus
   exporters); a no-op unless a tracer is installed.
@@ -61,6 +64,12 @@ from repro.libs import (
     GeometryMismatch,
     UnsupportedWorkload,
 )
+from repro.parallel import (
+    ContentCache,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 from repro.obs import (
     NullTracer,
     Tracer,
@@ -92,7 +101,7 @@ from repro.service import (
 from repro.simulator import HardwareConfig, simulate, SimResult, Counters
 from repro.trace import Workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "RSCode",
@@ -146,5 +155,9 @@ __all__ = [
     "SimResult",
     "Counters",
     "Workload",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "ContentCache",
     "__version__",
 ]

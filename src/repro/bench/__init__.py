@@ -12,7 +12,15 @@ Set ``REPRO_BENCH_SCALE`` (float) to shrink/grow simulated data volumes.
 """
 
 from repro.bench.report import FigureResult, Check, fmt_value
-from repro.bench.runner import run_libraries, standard_libraries, scaled
+from repro.bench.runner import (
+    run_libraries,
+    run_spec,
+    scaled,
+    standard_libraries,
+    sweep_results_table,
+    sweep_spec,
+)
+from repro.bench.sweep import benchmark_sweep, full_grid, smoke_grid
 from repro.bench.compare import compare_libraries, Comparison
 from repro.bench.workloads import PRODUCTION_WORKLOADS, get_workload
 
@@ -23,6 +31,12 @@ __all__ = [
     "run_libraries",
     "standard_libraries",
     "scaled",
+    "sweep_spec",
+    "run_spec",
+    "sweep_results_table",
+    "benchmark_sweep",
+    "smoke_grid",
+    "full_grid",
     "compare_libraries",
     "Comparison",
     "PRODUCTION_WORKLOADS",

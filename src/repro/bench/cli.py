@@ -35,6 +35,13 @@ def _run_experiment(func, volume, seed):
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        # Grid benchmark subcommand (own option surface) — see
+        # repro.bench.sweep for --grid/--workers/--json.
+        from repro.bench.sweep import main as sweep_main
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's figures on the simulated testbed.")
@@ -68,6 +75,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, func in table.items():
             doc = (func.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<{width}}  {doc}")
+        print(f"{'sweep':<{width}}  Grid benchmark: serial vs parallel vs "
+              "warm-cache (see 'sweep --help')")
         return 0
 
     names = list(table) if args.experiments == ["all"] else args.experiments

@@ -30,7 +30,8 @@ from repro.simulator.streamprefetcher import StreamPrefetcher
 from repro.simulator.readbuffer import PMReadBuffer
 from repro.simulator.memory import DRAMBackend, PMBackend
 from repro.simulator.engine import ThreadContext, run_single
-from repro.simulator.multicore import simulate, SimResult
+from repro.simulator.multicore import SimResult
+from repro.simulator.api import simulate
 from repro.simulator.presets import PRESETS, get_preset
 from repro.simulator.profiler import perf_report
 

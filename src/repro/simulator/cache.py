@@ -25,7 +25,7 @@ from repro.simulator.counters import Counters
 DEMAND, HWPF, SWPF = 0, 1, 2
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
     arrival_ns: float
     source: int

@@ -14,9 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class Counters:
-    """Aggregate event counts for one simulation (or one thread)."""
+    """Aggregate event counts for one simulation (or one thread).
+
+    ``slots=True`` matters: the simulator bumps these attributes on
+    every op, and slot access skips the per-instance dict.
+    """
 
     # Demand-side events
     loads: int = 0

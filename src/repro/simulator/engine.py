@@ -9,14 +9,24 @@ they record an arrival time in the cache; a later demand to that line
 pays only the residual wait (or nothing, if it already arrived). This
 is exactly the latency-hiding mechanism whose failure modes the paper
 studies.
+
+Two execution paths share the same arithmetic:
+
+* :meth:`ThreadContext.step` — the generic batched stepper the
+  multicore scheduler interleaves;
+* :meth:`ThreadContext.run` — the single-thread fast path, the same
+  per-op operations inlined into one loop with hot state in locals.
+  Results are bit-identical by construction (same floating-point
+  operations in the same order), which the determinism tests assert.
 """
 
 from __future__ import annotations
 
-from repro.simulator.cache import CoreCache, DEMAND, HWPF, SWPF as SWPF_SRC
+from repro.simulator.cache import CoreCache, DEMAND, HWPF, SWPF as SWPF_SRC, _Line
 from repro.simulator.counters import Counters
+from repro.simulator.memory import DRAMBackend, PMBackend
 from repro.simulator.params import HardwareConfig
-from repro.simulator.streamprefetcher import StreamPrefetcher
+from repro.simulator.streamprefetcher import StreamPrefetcher, _Stream
 from repro.trace.ops import LOAD, STORE, SWPF, COMPUTE, FENCE, Trace
 
 
@@ -42,10 +52,12 @@ class ThreadContext:
         self.pc = 0
         # hot-path constants
         self._ns_per_cycle = hw.cpu.ns_per_cycle
+        self._simd_factor = hw.cpu.simd_factor
         self._hit_ns = hw.cache.hit_latency_ns
         self._load_issue_ns = hw.cpu.load_issue_cycles * self._ns_per_cycle
         self._store_issue_ns = hw.cpu.store_issue_cycles * self._ns_per_cycle
         self._swpf_issue_ns = hw.cpu.swpf_issue_cycles * self._ns_per_cycle
+        self._wpq_ns = hw.cpu.wpq_backpressure_ns
         #: Software prefetches also train the hardware prefetcher
         #: (their "training effect", §5.9).
         self.swpf_trains_hwpf = True
@@ -53,7 +65,7 @@ class ThreadContext:
     @property
     def done(self) -> bool:
         """True when the whole trace has executed."""
-        return self.pc >= len(self.trace.ops)
+        return self.pc >= len(self.trace.opcodes)
 
     # -- internals -------------------------------------------------------
 
@@ -107,10 +119,12 @@ class ThreadContext:
         self.counters.stores += 1
         now = self.clock + self._store_issue_ns
         qd = self.store_backend.write_line(addr & ~63, now)
-        # Non-temporal stores are posted; only severe backpressure stalls.
+        # Non-temporal stores are posted; only severe backpressure
+        # (write-pipe backlog beyond the configured WPQ allowance)
+        # stalls the core.
         backlog = self.store_backend.write_pipe.free_at - now
-        if backlog > 2000.0:  # ~WPQ depth worth of ns
-            stall = backlog - 2000.0
+        if backlog > self._wpq_ns:
+            stall = backlog - self._wpq_ns
             self.counters.store_stall_ns += stall
             now += stall
         self.clock = now
@@ -132,21 +146,22 @@ class ThreadContext:
 
     def step(self, max_ops: int) -> int:
         """Execute up to ``max_ops`` ops; returns how many ran."""
-        ops = self.trace.ops
-        n = min(max_ops, len(ops) - self.pc)
+        opcodes = self.trace.opcodes
+        args = self.trace.args
+        n = min(max_ops, len(opcodes) - self.pc)
         counters = self.counters
         for i in range(self.pc, self.pc + n):
-            op, arg = ops[i]
+            op = opcodes[i]
             if op == LOAD:
-                self._do_load(int(arg))
+                self._do_load(int(args[i]))
             elif op == COMPUTE:
-                ns = arg * self._ns_per_cycle * self.hw.cpu.simd_factor
+                ns = args[i] * self._ns_per_cycle * self._simd_factor
                 counters.compute_ns += ns
                 self.clock += ns
             elif op == STORE:
-                self._do_store(int(arg))
+                self._do_store(int(args[i]))
             elif op == SWPF:
-                self._do_swpf(int(arg))
+                self._do_swpf(int(args[i]))
             elif op == FENCE:
                 self.clock = self.store_backend.drain_writes(self.clock)
             else:  # pragma: no cover - defensive
@@ -155,45 +170,382 @@ class ThreadContext:
         return n
 
     def run(self) -> float:
-        """Execute the entire trace; returns the finish time (ns)."""
-        while not self.done:
-            self.step(1 << 30)
-        return self.clock
+        """Execute the entire trace; returns the finish time (ns).
+
+        Fast path: the per-op arithmetic of :meth:`step` *and* of the
+        memory-model callees (backend fills, read buffer, streamer
+        training, cache insertion) inlined into one loop with all hot
+        state in locals — one Python frame for the whole trace instead
+        of five per op. Bit-identical to stepping by construction: the
+        same floating-point operations in the same order, which the
+        determinism tests assert. Falls back to :meth:`step` when the
+        backends are not the stock PM/DRAM models (the inlining
+        hard-codes their arithmetic).
+        """
+        n = len(self.trace.opcodes)
+        if self.pc >= n:
+            return self.clock
+        load_backend = self.load_backend
+        store_backend = self.store_backend
+        if (type(load_backend) not in (PMBackend, DRAMBackend)
+                or type(store_backend) not in (PMBackend, DRAMBackend)):
+            self.step(n - self.pc)
+            return self.clock
+        opcodes = self.trace.opcodes
+        args = self.trace.args
+        i = self.pc
+        c = self.counters
+
+        # Core-side hot state.
+        lines = self.cache._lines
+        cache_get = lines.get
+        cache_mte = lines.move_to_end
+        cache_pop = lines.popitem
+        cache_cap = self.cache.capacity
+        ns_per_cycle = self._ns_per_cycle
+        simd_factor = self._simd_factor
+        hit_ns = self._hit_ns
+        load_issue_ns = self._load_issue_ns
+        store_issue_ns = self._store_issue_ns
+        swpf_issue_ns = self._swpf_issue_ns
+        wpq_ns = self._wpq_ns
+        swpf_trains = self.swpf_trains_hwpf
+
+        # Streamer (per-core) hot state.
+        pf = self.prefetcher
+        pf_enabled = pf.enabled
+        pf_cfg = pf.config
+        pf_page_bytes = pf_cfg.page_bytes
+        pf_max_streams = pf_cfg.max_streams
+        pf_train = pf_cfg.train_threshold
+        pf_max_dist = pf_cfg.max_distance
+        pf_ramp = pf_cfg.ramp_div
+        pf_last_line = pf_page_bytes // 64 - 1
+        table = pf._table
+        table_get = table.get
+        table_mte = table.move_to_end
+        table_pop = table.popitem
+
+        # Load-side backend hot state. The PM and DRAM fill paths are
+        # both inlined below, selected by ``pm_load``; the arithmetic
+        # mirrors ``PMBackend.fill_line`` / ``DRAMBackend.fill_line``
+        # exactly (precomputed products are constant-folded copies of
+        # the same expressions, so the floats are identical).
+        mlp = load_backend.mlp
+        pm_load = type(load_backend) is PMBackend
+        if pm_load:
+            lb_cfg = load_backend.config
+            ctrl_pipe = load_backend.ctrl_pipe
+            media_pipe = load_backend.media_pipe
+            ctrl_step = 64 * ctrl_pipe.ns_per_byte
+            media_step = lb_cfg.xpline_bytes * media_pipe.ns_per_byte
+            xpline_bytes = lb_cfg.xpline_bytes
+            buffer_hit_ns = lb_cfg.buffer_hit_latency_ns
+            media_ns = lb_cfg.media_latency_ns
+            media_pf_ns = media_ns * lb_cfg.prefetch_latency_factor
+            rb = load_backend.read_buffer
+            rb_entries = rb._entries
+            rb_mte = rb_entries.move_to_end
+            rb_pop = rb_entries.popitem
+            rb_cap = rb.capacity
+        else:
+            read_pipe = load_backend.read_pipe
+            read_step = 64 * read_pipe.ns_per_byte
+            dram_ns = load_backend.config.latency_ns
+
+        # Store-side backend hot state (write path is identical for PM
+        # and DRAM: a bandwidth pipe plus byte accounting).
+        write_pipe = store_backend.write_pipe
+        write_step = 64 * write_pipe.ns_per_byte
+
+        clock = self.clock
+        while i < n:
+            op = opcodes[i]
+            arg = args[i]
+            i += 1
+            if op == LOAD:
+                c.loads += 1
+                c.app_read_bytes += 64
+                now = clock + load_issue_ns
+                line = int(arg) & ~63
+                ent = cache_get(line)
+                if ent is not None:
+                    cache_mte(line)
+                    ent.used = True
+                    if ent.arrival_ns <= now:
+                        c.load_cache_hits += 1
+                        if ent.source == HWPF:
+                            c.hwpf_useful += 1
+                        now += hit_ns
+                    else:
+                        wait = min(ent.arrival_ns - now, ent.promo_ns)
+                        c.load_late_prefetch += 1
+                        c.load_stall_ns += wait
+                        if ent.source == SWPF_SRC:
+                            c.swpf_late += 1
+                        elif ent.source == HWPF:
+                            c.hwpf_useless += 1
+                        now += wait + hit_ns
+                else:
+                    # Demand fill (inlined backend).
+                    c.ctrl_read_bytes += 64
+                    if pm_load:
+                        start = ctrl_pipe.free_at
+                        if start < now:
+                            start = now
+                        ctrl_pipe.free_at = start + ctrl_step
+                        qd = start - now
+                        xp = line // xpline_bytes
+                        if xp in rb_entries:
+                            rb_entries[xp] += 1
+                            rb_mte(xp)
+                            c.buffer_hits += 1
+                            stall = qd + buffer_hit_ns / mlp
+                        else:
+                            c.buffer_misses += 1
+                            t = now + qd
+                            mstart = media_pipe.free_at
+                            if mstart < t:
+                                mstart = t
+                            media_pipe.free_at = mstart + media_step
+                            c.media_read_bytes += xpline_bytes
+                            if len(rb_entries) >= rb_cap:
+                                _, used = rb_pop(last=False)
+                                c.buffer_evictions += 1
+                                if used <= 1:
+                                    c.buffer_evictions_unused += 1
+                            rb_entries[xp] = 1
+                            stall = qd + (mstart - t) + media_ns / mlp
+                    else:
+                        start = read_pipe.free_at
+                        if start < now:
+                            start = now
+                        read_pipe.free_at = start + read_step
+                        stall = (start - now) + dram_ns / mlp
+                    c.load_misses += 1
+                    c.load_stall_ns += stall
+                    now += stall + hit_ns
+                    # Insert (line was absent — cache_get returned None).
+                    if len(lines) >= cache_cap:
+                        _, ev = cache_pop(last=False)
+                        if not ev.used:
+                            if ev.source == HWPF:
+                                c.hwpf_useless += 1
+                            elif ev.source == SWPF_SRC:
+                                c.swpf_useless += 1
+                    lines[line] = _Line(now, DEMAND, True, 0.0)
+                clock = now
+                if not pf_enabled:
+                    continue
+            elif op == COMPUTE:
+                ns = arg * ns_per_cycle * simd_factor
+                c.compute_ns += ns
+                clock += ns
+                continue
+            elif op == STORE:
+                c.stores += 1
+                now = clock + store_issue_ns
+                c.write_bytes += 64
+                start = write_pipe.free_at
+                if start < now:
+                    start = now
+                free_at = start + write_step
+                write_pipe.free_at = free_at
+                backlog = free_at - now
+                if backlog > wpq_ns:
+                    stall = backlog - wpq_ns
+                    c.store_stall_ns += stall
+                    now += stall
+                clock = now
+                continue
+            elif op == SWPF:
+                c.swpf_issued += 1
+                now = clock + swpf_issue_ns
+                line = int(arg) & ~63
+                ent = cache_get(line)
+                if ent is None:
+                    # Prefetch-priority fill (inlined backend).
+                    c.ctrl_read_bytes += 64
+                    if pm_load:
+                        start = ctrl_pipe.free_at
+                        if start < now:
+                            start = now
+                        ctrl_pipe.free_at = start + ctrl_step
+                        qd = start - now
+                        xp = line // xpline_bytes
+                        if xp in rb_entries:
+                            rb_entries[xp] += 1
+                            rb_mte(xp)
+                            c.buffer_hits += 1
+                            arrival = now + qd + buffer_hit_ns
+                            promo = buffer_hit_ns / mlp
+                        else:
+                            c.buffer_misses += 1
+                            t = now + qd
+                            mstart = media_pipe.free_at
+                            if mstart < t:
+                                mstart = t
+                            media_pipe.free_at = mstart + media_step
+                            c.media_read_bytes += xpline_bytes
+                            if len(rb_entries) >= rb_cap:
+                                _, used = rb_pop(last=False)
+                                c.buffer_evictions += 1
+                                if used <= 1:
+                                    c.buffer_evictions_unused += 1
+                            rb_entries[xp] = 1
+                            arrival = now + (qd + (mstart - t)) + media_pf_ns
+                            promo = media_ns / mlp
+                    else:
+                        start = read_pipe.free_at
+                        if start < now:
+                            start = now
+                        read_pipe.free_at = start + read_step
+                        arrival = now + (start - now) + dram_ns
+                        promo = dram_ns / mlp
+                    if len(lines) >= cache_cap:
+                        _, ev = cache_pop(last=False)
+                        if not ev.used:
+                            if ev.source == HWPF:
+                                c.hwpf_useless += 1
+                            elif ev.source == SWPF_SRC:
+                                c.swpf_useless += 1
+                    lines[line] = _Line(arrival, SWPF_SRC, False, promo)
+                else:
+                    cache_mte(line)
+                clock = now
+                if not (swpf_trains and pf_enabled):
+                    continue
+            elif op == FENCE:
+                free_at = write_pipe.free_at
+                if free_at > clock:
+                    clock = free_at
+                continue
+            else:  # pragma: no cover - defensive
+                self.pc = i - 1
+                self.clock = clock
+                raise ValueError(f"unknown opcode {op}")
+
+            # Streamer training + hardware-prefetch issue (inlined
+            # ``StreamPrefetcher.on_access``); reached after LOAD, and
+            # after SWPF when software prefetches train the streamer.
+            page = line // pf_page_bytes
+            pline = (line % pf_page_bytes) // 64
+            stream = table_get(page)
+            if stream is None:
+                if len(table) >= pf_max_streams:
+                    _, evicted = table_pop(last=False)
+                    if evicted.confidence < pf_train:
+                        c.streams_evicted_untrained += 1
+                table[page] = _Stream(pline, 0, pline)
+                c.streams_allocated += 1
+                continue
+            table_mte(page)
+            last = stream.last_line
+            if pline == last + 1 or pline == last + 2:
+                stream.confidence += 1
+                stream.last_line = pline
+            elif pline <= last:
+                pass
+            else:
+                conf = stream.confidence - 2
+                stream.confidence = conf if conf > 0 else 0
+                stream.last_line = pline
+                continue
+            conf = stream.confidence
+            if conf < pf_train:
+                continue
+            distance = (conf - pf_train) // pf_ramp + 1
+            if distance > pf_max_dist:
+                distance = pf_max_dist
+            target = pline + distance
+            if target > pf_last_line:
+                target = pf_last_line
+            first = stream.max_prefetched + 1
+            if first <= pline:
+                first = pline + 1
+            if first > target:
+                continue
+            stream.max_prefetched = target
+            c.hwpf_issued += target - first + 1
+            base = page * pf_page_bytes
+            for l in range(first, target + 1):
+                tgt = base + l * 64
+                # Prefetch-priority fill (inlined backend) + insert.
+                c.ctrl_read_bytes += 64
+                if pm_load:
+                    start = ctrl_pipe.free_at
+                    if start < clock:
+                        start = clock
+                    ctrl_pipe.free_at = start + ctrl_step
+                    qd = start - clock
+                    xp = tgt // xpline_bytes
+                    if xp in rb_entries:
+                        rb_entries[xp] += 1
+                        rb_mte(xp)
+                        c.buffer_hits += 1
+                        arrival = clock + qd + buffer_hit_ns
+                        promo = buffer_hit_ns / mlp
+                    else:
+                        c.buffer_misses += 1
+                        t = clock + qd
+                        mstart = media_pipe.free_at
+                        if mstart < t:
+                            mstart = t
+                        media_pipe.free_at = mstart + media_step
+                        c.media_read_bytes += xpline_bytes
+                        if len(rb_entries) >= rb_cap:
+                            _, used = rb_pop(last=False)
+                            c.buffer_evictions += 1
+                            if used <= 1:
+                                c.buffer_evictions_unused += 1
+                        rb_entries[xp] = 1
+                        arrival = clock + (qd + (mstart - t)) + media_pf_ns
+                        promo = media_ns / mlp
+                else:
+                    start = read_pipe.free_at
+                    if start < clock:
+                        start = clock
+                    read_pipe.free_at = start + read_step
+                    arrival = clock + (start - clock) + dram_ns
+                    promo = dram_ns / mlp
+                ent = cache_get(tgt)
+                if ent is not None:
+                    if arrival < ent.arrival_ns:
+                        ent.arrival_ns = arrival
+                    ent.promo_ns = (min(ent.promo_ns, promo)
+                                    if ent.promo_ns else promo)
+                    cache_mte(tgt)
+                else:
+                    if len(lines) >= cache_cap:
+                        _, ev = cache_pop(last=False)
+                        if not ev.used:
+                            if ev.source == HWPF:
+                                c.hwpf_useless += 1
+                            elif ev.source == SWPF_SRC:
+                                c.swpf_useless += 1
+                    lines[tgt] = _Line(arrival, HWPF, False, promo)
+        self.pc = n
+        self.clock = clock
+        return clock
 
 
 def run_single(trace: Trace, hw: HardwareConfig) -> tuple[float, Counters]:
-    """Convenience: execute one trace on a fresh private testbed.
+    """Deprecated: execute one trace on a fresh private testbed.
 
-    Returns ``(finish_time_ns, counters)``. The load/store backends are
-    chosen per ``hw.load_source`` / ``hw.store_target``.
+    Pre-1.2 spelling of single-thread simulation; returns
+    ``(finish_time_ns, counters)``. Use :func:`repro.simulate` —
+    ``simulate(trace, hw)`` returns a :class:`~repro.simulator.
+    multicore.SimResult` carrying the same finish time and counters.
     """
-    from repro.obs import get_tracer
-    from repro.simulator.memory import DRAMBackend, PMBackend
+    from repro._deprecation import warn_deprecated
+    warn_deprecated(
+        "run_single(trace, hw) is deprecated; use repro.simulate(trace, "
+        "hardware) and read .makespan_ns / .counters off the result")
+    res = _run_single(trace, hw)
+    return res.makespan_ns, res.counters
 
-    counters = Counters()
-    backends = {}
 
-    def backend_for(kind: str):
-        if kind not in backends:
-            backends[kind] = (
-                PMBackend(hw.pm, counters) if kind == "pm"
-                else DRAMBackend(hw.dram, counters)
-            )
-        return backends[kind]
-
-    ctx = ThreadContext(hw, counters,
-                        load_backend=backend_for(hw.load_source),
-                        store_backend=backend_for(hw.store_target),
-                        trace=trace)
-    tracer = get_tracer()
-    if not tracer.enabled:
-        finish = ctx.run()
-        ctx.cache.drain()
-        return finish, counters
-    with tracer.sequenced(0.0):
-        span = tracer.begin("sim.run", 0.0, threads=1, ops=len(trace.ops))
-        finish = ctx.run()
-        ctx.cache.drain()
-        tracer.end(span, finish, data_bytes=trace.data_bytes,
-                   **counters.nonzero_dict("d_"))
-    return finish, counters
+def _run_single(trace: Trace, hw: HardwareConfig):
+    """Single-trace simulation on private backends (facade internal)."""
+    from repro.simulator.multicore import simulate as _simulate
+    return _simulate([trace], hw)

@@ -128,6 +128,12 @@ def _run(contexts: list[ThreadContext], counters: Counters,
     heap: list[tuple[float, int]] = [
         (ctx.clock, i) for i, ctx in enumerate(contexts) if not ctx.done
     ]
+    if len(heap) == 1:
+        # One live thread: no cross-thread interleaving to arbitrate,
+        # so take the engine's inlined fast path (bit-identical to
+        # stepping — same operations, same order).
+        contexts[heap[0][1]].run()
+        heap = []
     heapq.heapify(heap)
     while heap:
         _, idx = heapq.heappop(heap)

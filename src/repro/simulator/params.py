@@ -34,6 +34,12 @@ class CPUConfig:
     load_issue_cycles: float = 1.0
     store_issue_cycles: float = 1.5
     swpf_issue_cycles: float = 1.0
+    #: Write-pending-queue backpressure threshold, in ns of write-pipe
+    #: backlog (~one WPQ depth drained at PM write bandwidth).
+    #: Non-temporal stores are posted; a store stalls only for the
+    #: backlog *beyond* this allowance. Calibrated against the paper's
+    #: store-heavy figures; sweeps may vary it per-cell.
+    wpq_backpressure_ns: float = 2000.0
 
     @property
     def ns_per_cycle(self) -> float:

@@ -27,7 +27,7 @@ from repro.simulator.counters import Counters
 from repro.simulator.params import PrefetcherConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class _Stream:
     last_line: int       # last accessed line index within the page
     confidence: int      # sequential-hit count

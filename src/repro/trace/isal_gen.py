@@ -30,7 +30,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.simulator.params import CPUConfig
-from repro.trace.layout import StripeLayout, LINE
+from repro.trace.layout import StripeLayout, LINE, PAGE
 from repro.trace.ops import LOAD, STORE, SWPF, COMPUTE, FENCE, Trace
 from repro.trace.workload import Workload
 
@@ -106,14 +106,14 @@ def isal_trace(wl: Workload, cpu: CPUConfig,
     per_line = _per_line_compute_cycles(wl, cpu)
     order = _row_order(L, variant.shuffle)
     trace = Trace()
-    ops = trace.ops
+    add = trace.add
     stripes = wl.stripes_per_thread
 
     srange = range(stripe_offset, stripe_offset + stripes)
     if variant.xpline_granularity:
-        _emit_xpline_stripes(wl, layout, order, per_line, variant, ops, srange)
+        _emit_xpline_stripes(wl, layout, order, per_line, variant, add, srange)
     else:
-        _emit_rowmajor_stripes(wl, layout, order, per_line, variant, ops, srange)
+        _emit_rowmajor_stripes(wl, layout, order, per_line, variant, add, srange)
 
     trace.data_bytes = stripes * wl.stripe_data_bytes
     return trace
@@ -144,7 +144,7 @@ def _dest_blocks(wl: Workload) -> list[int]:
     return out
 
 
-def _emit_rowmajor_stripes(wl, layout, order, per_line, variant, ops, srange):
+def _emit_rowmajor_stripes(wl, layout, order, per_line, variant, add, srange):
     k = wl.k
     sources = _source_blocks(wl)
     dests = _dest_blocks(wl)
@@ -153,36 +153,50 @@ def _emit_rowmajor_stripes(wl, layout, order, per_line, variant, ops, srange):
     d = variant.sw_prefetch_distance
     d_first = variant.bf_first_line_distance
 
-    def elem_addr(stripe, n):
+    # Address arithmetic hoisted out of the per-op loop (this function
+    # emits every op of every ISA-L-family trace):
+    # line_addr(s, b, r) == thread_base + (s*bps + b)*block_stride + r*64.
+    bps = layout.blocks_per_stripe
+    block_stride = layout.pages_per_block * PAGE
+    thread_base = layout.thread_base
+    stripe_stride = bps * block_stride
+    src_off = [b * block_stride for b in sources]
+    dst_off = [b * block_stride for b in dests]
+    row_off = [r * LINE for r in order]  # indexed by row position rp
+    compute_cycles = per_line * k
+
+    def elem_addr(sbase, n):
         rp, j = divmod(n, k)
-        return layout.line_addr(stripe, sources[j], order[rp])
+        return sbase + src_off[j] + row_off[rp]
 
     for s in srange:
-        for rp, r in enumerate(order):
+        sbase = thread_base + s * stripe_stride
+        for rp in range(L):
+            roff = row_off[rp]
             base_n = rp * k
             for j in range(k):
                 n = base_n + j
                 if d is not None:
                     t = n + d
                     if t < total:
-                        addr = elem_addr(s, t)
+                        addr = elem_addr(sbase, t)
                         is_first = (addr // LINE) % XP_LINES == 0
                         if d_first is None or not is_first:
-                            ops.append((SWPF, addr))
+                            add(SWPF, addr)
                     if d_first is not None:
                         t2 = n + d_first
                         if t2 < total:
-                            addr2 = elem_addr(s, t2)
+                            addr2 = elem_addr(sbase, t2)
                             if (addr2 // LINE) % XP_LINES == 0:
-                                ops.append((SWPF, addr2))
-                ops.append((LOAD, layout.line_addr(s, sources[j], r)))
-            ops.append((COMPUTE, per_line * k))
-            for dest in dests:
-                ops.append((STORE, layout.line_addr(s, dest, r)))
-        ops.append((FENCE, 0))
+                                add(SWPF, addr2)
+                add(LOAD, sbase + src_off[j] + roff)
+            add(COMPUTE, compute_cycles)
+            for doff in dst_off:
+                add(STORE, sbase + doff + roff)
+        add(FENCE, 0)
 
 
-def _emit_xpline_stripes(wl, layout, order, per_line, variant, ops, srange):
+def _emit_xpline_stripes(wl, layout, order, per_line, variant, add, srange):
     """256 B-granularity loop expansion (§4.3.3).
 
     The element sequence becomes (XPLine-group, block); all lines of a
@@ -204,25 +218,39 @@ def _emit_xpline_stripes(wl, layout, order, per_line, variant, ops, srange):
     dg = max(1, round(d / (XP_LINES * k))) if d is not None else None
     total = ngroups * k
 
+    # Hoisted address arithmetic (see _emit_rowmajor_stripes).
+    bps = layout.blocks_per_stripe
+    block_stride = layout.pages_per_block * PAGE
+    thread_base = layout.thread_base
+    stripe_stride = bps * block_stride
+    src_off = [b * block_stride for b in sources]
+    dst_off = [b * block_stride for b in dests]
+    group_line_off = [[r * LINE for r in g] for g in groups]
+    group_first_off = [g[0] * LINE for g in groups]
+    group_cycles = [per_line * len(g) for g in groups]
+
     for s in srange:
+        sbase = thread_base + s * stripe_stride
         for gp in range(ngroups):
             g = gorder[gp]
-            lines = groups[g]
+            line_offs = group_line_off[g]
+            cycles = group_cycles[g]
             for j in range(k):
                 n = gp * k + j
                 if dg is not None:
                     t = n + dg * k  # same block, dg groups ahead
                     if t < total:
                         t_gp, t_j = divmod(t, k)
-                        ops.append((SWPF, layout.line_addr(
-                            s, sources[t_j], groups[gorder[t_gp]][0])))
-                for r in lines:
-                    ops.append((LOAD, layout.line_addr(s, sources[j], r)))
-                ops.append((COMPUTE, per_line * len(lines)))
-            for r in lines:
-                for dest in dests:
-                    ops.append((STORE, layout.line_addr(s, dest, r)))
-        ops.append((FENCE, 0))
+                        add(SWPF, sbase + src_off[t_j]
+                            + group_first_off[gorder[t_gp]])
+                soff = sbase + src_off[j]
+                for loff in line_offs:
+                    add(LOAD, soff + loff)
+                add(COMPUTE, cycles)
+            for loff in line_offs:
+                for doff in dst_off:
+                    add(STORE, sbase + doff + loff)
+        add(FENCE, 0)
 
 
 def _decomposed_trace(wl: Workload, cpu: CPUConfig,
@@ -245,21 +273,21 @@ def _decomposed_trace(wl: Workload, cpu: CPUConfig,
     dests = _dest_blocks(wl)
     groups = [sources[c:c + g] for c in range(0, wl.k, g)]
     trace = Trace()
-    ops = trace.ops
+    add = trace.add
     order = _row_order(L, variant.shuffle)
     for s in range(stripe_offset, stripe_offset + wl.stripes_per_thread):
         for p, cols in enumerate(groups):
             for r in order:
                 for j in cols:
-                    ops.append((LOAD, layout.line_addr(s, j, r)))
+                    add(LOAD, layout.line_addr(s, j, r))
                 if p:
                     # Reload the partial result written by the last pass.
                     for dest in dests[:wl.erasures if wl.op == "decode" else wl.m]:
-                        ops.append((LOAD, layout.line_addr(s, dest, r)))
-                ops.append((COMPUTE, per_line * len(cols)))
+                        add(LOAD, layout.line_addr(s, dest, r))
+                add(COMPUTE, per_line * len(cols))
                 for dest in dests:
                     if p == len(groups) - 1 or dest < wl.k + wl.m:
-                        ops.append((STORE, layout.line_addr(s, dest, r)))
-        ops.append((FENCE, 0))
+                        add(STORE, layout.line_addr(s, dest, r))
+        add(FENCE, 0)
     trace.data_bytes = wl.stripes_per_thread * wl.stripe_data_bytes
     return trace

@@ -45,7 +45,7 @@ def update_trace(wl: Workload, cpu: CPUConfig,
                 + cpu.loop_overhead_cycles)
     order = _row_order(L, shuffle)
     trace = Trace()
-    ops = trace.ops
+    add = trace.add
     stripes = wl.stripes_per_thread
     streams = 1 + m  # old data + m parities
 
@@ -63,13 +63,13 @@ def update_trace(wl: Workload, cpu: CPUConfig,
                 if sw_prefetch_distance is not None:
                     t = n + sw_prefetch_distance
                     if t < total:
-                        ops.append((SWPF, elem_addr(s, t, target_block)))
+                        add(SWPF, elem_addr(s, t, target_block))
                 block = target_block if j == 0 else wl.k + (j - 1)
-                ops.append((LOAD, layout.line_addr(s, block, r)))
-            ops.append((COMPUTE, per_line))
-            ops.append((STORE, layout.line_addr(s, target_block, r)))
+                add(LOAD, layout.line_addr(s, block, r))
+            add(COMPUTE, per_line)
+            add(STORE, layout.line_addr(s, target_block, r))
             for i in range(m):
-                ops.append((STORE, layout.line_addr(s, wl.k + i, r)))
-        ops.append((FENCE, 0))
+                add(STORE, layout.line_addr(s, wl.k + i, r))
+        add(FENCE, 0)
     trace.data_bytes = stripes * wl.block_bytes
     return trace

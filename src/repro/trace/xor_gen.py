@@ -49,7 +49,7 @@ def xor_schedule_trace(wl: Workload, cpu: CPUConfig, schedule: XorSchedule,
     xor_c = cpu.xor_cycles_per_line
     ovh = cpu.loop_overhead_cycles
     trace = Trace()
-    ops = trace.ops
+    add = trace.add
     stripes = wl.stripes_per_thread
     sched_ops = schedule.ops
     for s in range(stripes):
@@ -58,15 +58,15 @@ def xor_schedule_trace(wl: Workload, cpu: CPUConfig, schedule: XorSchedule,
                 j, p = divmod(src, w)
                 base = layout.block_addr(s, j)
                 for l in packet_lines[p]:
-                    ops.append((LOAD, base + l * LINE))
+                    add(LOAD, base + l * LINE)
             # dst (parity/temp) stays register/cache resident.
-            ops.append((COMPUTE, (xor_c * lines_per_packet) + ovh))
+            add(COMPUTE, (xor_c * lines_per_packet) + ovh)
         # Flush parity packets with NT stores.
         for i in range(m):
             base = layout.block_addr(s, k + i)
             for l in range(layout.lines_per_block):
-                ops.append((STORE, base + l * LINE))
-        ops.append((FENCE, 0))
+                add(STORE, base + l * LINE)
+        add(FENCE, 0)
     trace.data_bytes = stripes * wl.stripe_data_bytes
     return trace
 
@@ -86,7 +86,7 @@ def xor_decomposed_trace(wl: Workload, cpu: CPUConfig,
     xor_c = cpu.xor_cycles_per_line
     ovh = cpu.loop_overhead_cycles
     trace = Trace()
-    ops = trace.ops
+    add = trace.add
     for s in range(wl.stripes_per_thread):
         for p, (sched, cols) in enumerate(group_schedules):
             w = sched.w
@@ -102,19 +102,19 @@ def xor_decomposed_trace(wl: Workload, cpu: CPUConfig,
                 for i in range(wl.m):
                     base = layout.block_addr(s, wl.k + i)
                     for l in range(L):
-                        ops.append((LOAD, base + l * LINE))
+                        add(LOAD, base + l * LINE)
             kw = sched.k * w
             for op, dst, src in sched.ops:
                 if src < kw:
                     j, q = divmod(src, w)
                     base = layout.block_addr(s, cols[j])
                     for l in packet_lines[q]:
-                        ops.append((LOAD, base + l * LINE))
-                ops.append((COMPUTE, xor_c * max(1, pkt_bytes // LINE) + ovh))
+                        add(LOAD, base + l * LINE)
+                add(COMPUTE, xor_c * max(1, pkt_bytes // LINE) + ovh)
             for i in range(wl.m):
                 base = layout.block_addr(s, wl.k + i)
                 for l in range(L):
-                    ops.append((STORE, base + l * LINE))
-        ops.append((FENCE, 0))
+                    add(STORE, base + l * LINE)
+        add(FENCE, 0)
     trace.data_bytes = wl.stripes_per_thread * wl.stripe_data_bytes
     return trace

@@ -42,9 +42,12 @@ def cse_optimize(bitmatrix: np.ndarray, k: int, m: int, w: int,
     mw, kw = bitmatrix.shape
     if mw != m * w or kw != k * w:
         raise ValueError(f"bitmatrix shape {bitmatrix.shape} != ({m*w}, {k*w})")
-    # Incidence matrix with room for temporary columns.
+    # Incidence matrix with room for temporary columns. float32 so the
+    # co-occurrence product below hits BLAS; entries are 0/1 and the
+    # counts it accumulates stay far below 2**24, so every value is
+    # exact and the greedy argmax choice is unchanged.
     cap = max_temps if max_temps is not None else kw  # temps rarely exceed kw
-    R = np.zeros((mw, kw + cap), dtype=np.int64)
+    R = np.zeros((mw, kw + cap), dtype=np.float32)
     R[:, :kw] = bitmatrix != 0
     ncols = kw
     temp_defs: list[tuple[int, int, int]] = []  # (temp_id, a, b)

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.libs",
     "repro.core",
     "repro.bench",
+    "repro.parallel",
     "repro.pmstore",
     "repro.service",
     "repro.chaos",
