@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Pull the plug on the store and watch the WAL put it back together.
+
+The PM store's durability unit is the persistence domain: a write is
+volatile until its cache lines are flushed (clwb) *and* fenced
+(sfence). Every mutation is therefore a redo-logged transaction —
+intent record, in-place stripe lines, commit record — so that a power
+cut at ANY flush/fence boundary recovers to a consistent committed
+state. This demo shows the machinery at three zoom levels:
+
+1. the raw persistence domain: visible-but-volatile writes, tearing,
+2. a put cut mid-transaction, recovered by WAL replay,
+3. the crash-point harness enumerating every boundary of a scenario.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+import numpy as np
+
+from repro.crash import CrashInjector, PowerCut, smoke_scenario
+from repro.crash.injector import _Boundary
+from repro.pmstore import PersistenceDomain, PMStore, seeded_line_policy
+
+# ------------------------------------ 1. the persistence-domain model
+print("1. writes are visible immediately but volatile until fenced\n")
+
+dom = PersistenceDomain(4096)
+dom.write(0, b"hello, pmem")
+print(f"   after write:          read back {dom.view(0, 11).tobytes()!r}, "
+      f"{dom.pending_lines} line pending")
+dom.crash()
+print(f"   after power cut:      read back {dom.view(0, 11).tobytes()!r}")
+dom.write(0, b"hello, pmem")
+dom.persist(0, 11)            # clwb each line + sfence
+dom.crash()
+print(f"   flushed+fenced first: read back {dom.view(0, 11).tobytes()!r}\n")
+
+# ------------------------------------ 2. a put cut mid-transaction
+print("2. cut a put between its parity write and its commit record\n")
+
+store = PMStore(3, 2, block_bytes=256,
+                pm_capacity_bytes=1 << 20, wal_capacity_bytes=1 << 20)
+store.put("acked", b"\xAB" * 500)                      # survives: committed
+
+boundary = _Boundary(target=8)                         # 8th flush/fence op
+store.domain.persist_hooks.append(boundary)
+store.wal.domain.persist_hooks.append(boundary)
+try:
+    store.put("torn", b"\xCD" * 500)                   # never acked
+except PowerCut:
+    print("   PowerCut raised mid-put (boundary #8)")
+
+damaged = store.crash(seeded_line_policy(np.random.default_rng(0)))
+print(f"   crash tore/dropped {damaged} store-buffer lines")
+report = store.recover()
+print(f"   recovery: {report.summary()}")
+print(f"   keys after recovery: {store.keys()}  "
+      f"(acked survived, torn rolled {'forward' if 'torn' in store.keys() else 'back'})")
+assert store.get("acked") == b"\xAB" * 500
+d1 = store.state_digest()
+store.recover()
+assert store.state_digest() == d1                      # replay is idempotent
+print("   second recover() is a byte-identical no-op\n")
+
+# ------------------------------------ 3. the exhaustive harness
+print("3. enumerate EVERY boundary of the smoke scenario (+ tearing)\n")
+
+injector = CrashInjector(smoke_scenario(0))
+report = injector.enumerate_all()
+tears = injector.tear_points(10, seed=0)
+print(f"   {report.summary()}")
+print(f"   {tears.summary()}")
+assert report.all_passed and tears.all_passed
+print("\nevery acknowledged write survived every possible crash point.")

@@ -47,6 +47,13 @@ echo "== chaos smoke job (seeded campaign, durability audit must be clean) =="
 # loss; the scenario's own shape checks fail the run otherwise (exit 1).
 python -m repro.bench chaos --seed 0
 
+echo "== crash smoke job (exhaustive crash-point enumeration + tearing) =="
+# Every flush/fence boundary of the smoke and degraded scenarios is
+# power-cut, recovered and checked against the four recovery
+# invariants; any write hole or lost acknowledged byte exits non-zero,
+# as does any byte-level divergence between two identically-seeded runs.
+python -m repro.bench crash --seed 0
+
 echo "== slow campaigns (soak tests deselected from tier-1) =="
 python -m pytest tests/ -m slow 2>&1 | tee slow_output.txt
 

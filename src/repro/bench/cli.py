@@ -16,12 +16,14 @@ import time
 def _experiments() -> dict:
     from repro.bench.ablations import ALL_ABLATIONS
     from repro.bench.chaos_scenario import ALL_CHAOS_SCENARIOS
+    from repro.bench.crash_scenario import ALL_CRASH_SCENARIOS
     from repro.bench.figures import ALL_FIGURES
     from repro.bench.service_scenario import ALL_SCENARIOS
     out = dict(ALL_FIGURES)
     out.update(ALL_ABLATIONS)
     out.update(ALL_SCENARIOS)
     out.update(ALL_CHAOS_SCENARIOS)
+    out.update(ALL_CRASH_SCENARIOS)
     return out
 
 

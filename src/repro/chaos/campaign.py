@@ -19,6 +19,7 @@ ACTION_KINDS = frozenset({
     "device_loss",      # correlated loss of one block position
     "transient_storm",  # window of operation-level transient faults
     "traffic_burst",    # extra put or get wave starting at the action
+    "power_cut",        # power dies; WAL recovery brings the store back
 })
 
 
@@ -46,6 +47,11 @@ class ChaosAction:
     op, nclients, objects_per_client, payload_bytes, mean_gap_ns:
         Burst shape (``traffic_burst``; ``op`` is ``put`` or ``get`` —
         a get burst re-reads the base traffic's keys).
+    policy:
+        Crash outcome model (``power_cut``): ``drop`` (every unfenced
+        line lost — the guaranteed minimum), ``keep`` (flushed lines
+        survive the dying power), or ``tear`` (seeded adversarial
+        keep/revert/tear per pending line).
     note:
         Free-form label echoed in the campaign report.
     """
@@ -58,6 +64,7 @@ class ChaosAction:
     duration_ns: float = 0.0
     rate: float = 0.8
     op: str = "put"
+    policy: str = "drop"
     nclients: int = 4
     objects_per_client: int = 2
     payload_bytes: int = 1024
@@ -75,6 +82,11 @@ class ChaosAction:
             raise ValueError("a storm needs duration_ns > 0")
         if self.kind == "traffic_burst" and self.op not in ("put", "get"):
             raise ValueError(f"burst op must be put|get, got {self.op!r}")
+        if self.kind == "power_cut" and self.policy not in (
+                "drop", "keep", "tear"):
+            raise ValueError(
+                f"power_cut policy must be drop|keep|tear, "
+                f"got {self.policy!r}")
 
     def describe(self) -> str:
         """One deterministic log line for the campaign report."""
@@ -89,6 +101,8 @@ class ChaosAction:
                       f"x{self.objects_per_client}")
         elif self.kind == "scribble":
             detail = f"count={self.count} len={self.length}B"
+        elif self.kind == "power_cut":
+            detail = f"policy={self.policy}"
         else:
             detail = f"count={self.count}"
         note = f"  ({self.note})" if self.note else ""
@@ -225,10 +239,38 @@ def kitchen_sink(seed: int = 0) -> Campaign:
     )
 
 
+def power_cycle(seed: int = 0) -> Campaign:
+    """Power dies twice mid-run — once under the adversarial tearing
+    model, once between waves — and WAL recovery must bring every
+    acknowledged write back, re-queue in-flight requests and keep the
+    read-back waves durability-clean."""
+    return Campaign(
+        name="power_cycle",
+        description="two power cuts, WAL-recovered, durability-clean",
+        seed=seed,
+        actions=(
+            ChaosAction(at_ns=2.5e7, kind="power_cut", policy="tear",
+                        note="power dies mid-ingest, caches tear"),
+            ChaosAction(at_ns=3e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        note="read-back after first recovery"),
+            ChaosAction(at_ns=5.5e7, kind="traffic_burst", op="put",
+                        nclients=4, objects_per_client=2,
+                        note="fresh writes between cuts"),
+            ChaosAction(at_ns=7e7, kind="power_cut", policy="drop",
+                        note="second cut: guaranteed-minimum outcome"),
+            ChaosAction(at_ns=8e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        note="final read-back"),
+        ),
+    )
+
+
 #: The canned campaign library, by name.
 CANNED_CAMPAIGNS = {
     "single_device_loss": single_device_loss,
     "corruption_wave": corruption_wave,
     "retry_storm": retry_storm,
     "kitchen_sink": kitchen_sink,
+    "power_cycle": power_cycle,
 }

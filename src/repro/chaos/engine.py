@@ -26,11 +26,15 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+import numpy as np
+
 from repro.chaos.audit import DurabilityAuditor
 from repro.chaos.campaign import Campaign, ChaosAction
 from repro.chaos.report import CampaignReport
+from repro.crash.recovery import ServiceRecovery
 from repro.obs import get_tracer
 from repro.pmstore.faults import FaultEvent, FaultInjector
+from repro.pmstore.pmem import keep_flushed, seeded_line_policy
 from repro.pmstore.scrubber import Scrubber
 from repro.service import (
     ErasureCodingService,
@@ -77,6 +81,8 @@ class CampaignEngine:
         self.service: ErasureCodingService | None = None
         self.injector: FaultInjector | None = None
         self.auditor = DurabilityAuditor()
+        #: Power-cut executor (``power_cut`` actions); built in :meth:`run`.
+        self.recovery: ServiceRecovery | None = None
 
     # -- traffic -----------------------------------------------------------
 
@@ -144,6 +150,18 @@ class CampaignEngine:
             burst = self._burst_traffic(action, index)
             pending.extend(burst)
             pending.sort(key=lambda r: (r.arrival_ns, r.key))
+        elif action.kind == "power_cut":
+            if action.policy == "keep":
+                policy = keep_flushed
+            elif action.policy == "tear":
+                # Deterministic per (campaign seed, cut instant).
+                policy = seeded_line_policy(np.random.default_rng(
+                    [self.campaign.seed, 0x9C, int(action.at_ns)]))
+            else:
+                policy = None  # drop every unfenced line
+            episode = self.recovery.power_cut(policy)
+            inj.events.append(FaultEvent(
+                "power_cut", -1, -1, episode.summary()))
 
     # -- the run loop ------------------------------------------------------
 
@@ -185,6 +203,7 @@ class CampaignEngine:
         svc.attach_healer(self.healer)
         self.service = svc
         self.injector = FaultInjector(svc.store, seed=c.seed)
+        self.recovery = ServiceRecovery(svc, auditor=self.auditor)
         self._bursts: list[ChaosAction] = []
 
         tracer = get_tracer()

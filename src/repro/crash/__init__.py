@@ -1,0 +1,58 @@
+"""Crash consistency and recovery: the deterministic crash-point harness.
+
+The subsystem ties the :mod:`repro.pmstore` persistence-domain model
+(256 B-line flush/fence durability, WAL-logged transactions) to
+provable recovery:
+
+* :class:`CrashInjector` enumerates every flush/fence boundary of a
+  :class:`CrashScenario`, cuts power there (plus seeded adversarial
+  line-tearing), recovers, and checks the four crash
+  :mod:`~repro.crash.invariants`;
+* :class:`ServiceRecovery` is the service/chaos face of the same
+  machinery: a ``power_cut`` chaos action crashes the running service's
+  store, replays the WAL on the simulated clock, re-queues unacked
+  requests and reconciles the durability auditor's ledger.
+
+``python -m repro.bench crash --seed 0`` runs the whole gate.
+"""
+
+from repro.crash.injector import (
+    CrashCampaignReport,
+    CrashInjector,
+    CrashPointResult,
+    PowerCut,
+)
+from repro.crash.invariants import (
+    InvariantResult,
+    check_acked_durability,
+    check_all,
+    check_checksum_validity,
+    check_idempotent_replay,
+    check_stripe_consistency,
+)
+from repro.crash.recovery import ServiceRecovery, ServiceRecoveryReport
+from repro.crash.scenarios import (
+    CrashScenario,
+    degraded_scenario,
+    smoke_scenario,
+    soak_scenario,
+)
+
+__all__ = [
+    "CrashCampaignReport",
+    "CrashInjector",
+    "CrashPointResult",
+    "CrashScenario",
+    "InvariantResult",
+    "PowerCut",
+    "ServiceRecovery",
+    "ServiceRecoveryReport",
+    "check_acked_durability",
+    "check_all",
+    "check_checksum_validity",
+    "check_idempotent_replay",
+    "check_stripe_consistency",
+    "degraded_scenario",
+    "smoke_scenario",
+    "soak_scenario",
+]

@@ -1,0 +1,137 @@
+"""The four crash-consistency invariants a recovered store must hold.
+
+These are the oracle of the crash harness: after *any* power cut — at
+any flush/fence boundary, under any tearing policy — and one
+:meth:`~repro.pmstore.store.PMStore.recover`, all four must pass:
+
+1. **Acked durability** — every write acknowledged before the cut reads
+   back bit-exact; a key with an operation *in flight* at the cut is in
+   either its old or its new state (the client never got an ack, so
+   both are correct), never anything else.
+2. **Data/parity consistency** — re-encoding each stripe's data yields
+   exactly its stored parity: the write hole is closed (stripes marked
+   with erasures are skipped; their blocks are untrustworthy by
+   definition and belong to the repair path).
+3. **Checksum validity** — every non-lost block matches its recovered
+   CRC: recovery never launders torn bytes into "verified" state.
+4. **Idempotent replay** — recovering a second time changes nothing:
+   the durable state plus rebuilt metadata is a fixed point, so a crash
+   *during recovery* is no worse than the original crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Sentinel for "key not stored" in acceptable-outcome sets.
+ABSENT = None
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One invariant's verdict at one crash point."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def summary(self) -> str:
+        mark = "ok " if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def _read(store, key: str):
+    """Read ``key`` or :data:`ABSENT`, bypassing fault hooks."""
+    hooks, store.fault_hooks = store.fault_hooks, []
+    try:
+        return store.get(key)
+    except (KeyError, ValueError):
+        return ABSENT
+    finally:
+        store.fault_hooks = hooks
+
+
+def check_acked_durability(store, settled: dict[str, bytes],
+                           inflight=None) -> InvariantResult:
+    """Invariant 1. ``settled`` maps key -> last acknowledged value;
+    ``inflight`` is the op tuple interrupted by the crash (or None)."""
+    inflight_key = inflight[1] if (
+        inflight and inflight[0] in ("put", "update", "delete")) else None
+    bad: list[str] = []
+    for key, want in settled.items():
+        if key == inflight_key:
+            continue
+        got = _read(store, key)
+        if got != want:
+            state = "missing" if got is ABSENT else f"{len(got)} B mismatch"
+            bad.append(f"{key}:{state}")
+    if inflight_key is not None:
+        old = settled.get(inflight_key, ABSENT)
+        new = ABSENT if inflight[0] == "delete" else inflight[2]
+        got = _read(store, inflight_key)
+        if got != old and got != new:
+            bad.append(f"{inflight_key}:neither-old-nor-new")
+    return InvariantResult(
+        "acked_durability", not bad,
+        f"{len(settled)} acked keys"
+        + (f"; violations: {', '.join(bad[:4])}" if bad else " intact"))
+
+
+def check_stripe_consistency(store) -> InvariantResult:
+    """Invariant 2: parity re-encoded from data equals stored parity."""
+    bad, skipped = [], 0
+    for sid in range(store.num_stripes):
+        if store.lost_blocks(sid):
+            skipped += 1
+            continue
+        stripe = store._stripes[sid]
+        expect = store._compute_parity(stripe.data)
+        if not np.array_equal(np.asarray(expect, dtype=np.uint8),
+                              stripe.parity):
+            bad.append(sid)
+    return InvariantResult(
+        "data_parity_consistency", not bad,
+        f"{store.num_stripes} stripes, {skipped} skipped (erasures)"
+        + (f"; write hole in stripes {bad}" if bad else ""))
+
+
+def check_checksum_validity(store) -> InvariantResult:
+    """Invariant 3: every non-lost block matches its recovered CRC."""
+    bad = []
+    for sid in range(store.num_stripes):
+        stripe = store._stripes[sid]
+        blocks = store.blocks_of(sid)
+        for i in range(len(blocks)):
+            if i in stripe.lost:
+                continue
+            if store._checksum(blocks[i]) != stripe.checksums[i]:
+                bad.append((sid, i))
+    return InvariantResult(
+        "checksum_validity", not bad,
+        f"{store.num_stripes} stripes verified"
+        + (f"; CRC mismatches at {bad[:4]}" if bad else ""))
+
+
+def check_idempotent_replay(store) -> InvariantResult:
+    """Invariant 4: a second recovery reaches the identical state."""
+    first = store.state_digest()
+    store.recover()
+    second = store.state_digest()
+    return InvariantResult(
+        "idempotent_replay", first == second,
+        f"digest {first[:12]}.. "
+        + ("stable" if first == second else f"!= {second[:12]}.."))
+
+
+def check_all(store, settled: dict[str, bytes],
+              inflight=None) -> tuple[InvariantResult, ...]:
+    """All four invariants, in order (replay idempotence runs last —
+    it recovers the store again)."""
+    return (
+        check_acked_durability(store, settled, inflight),
+        check_stripe_consistency(store),
+        check_checksum_validity(store),
+        check_idempotent_replay(store),
+    )

@@ -7,26 +7,58 @@ application layer, built on the repo's codecs — the downstream consumer
 a DIALGA user actually runs:
 
 * :class:`~repro.pmstore.store.PMStore` — an object store whose value
-  space is protected by RS or LRC stripes; put/get/delete, degraded
-  reads, repair, and a coding-cost model (simulated, via any
-  :class:`~repro.libs.base.CodingLibrary`).
+  space is protected by RS or LRC stripes; put/get/update/delete,
+  degraded reads, repair, and a coding-cost model (simulated, via any
+  :class:`~repro.libs.base.CodingLibrary`). Every mutation is a
+  WAL-logged transaction over the persistence domain, so
+  :meth:`~repro.pmstore.store.PMStore.crash` /
+  :meth:`~repro.pmstore.store.PMStore.recover` survive any power cut.
+* :class:`~repro.pmstore.pmem.PersistenceDomain` — the PM durability
+  model: 256 B-line store buffer with explicit flush/fence (clwb/
+  sfence), line-granular crash dropping and 8 B-granular tearing.
+* :class:`~repro.pmstore.wal.StripeWAL` — the checksummed redo log
+  (intent → in-place lines → commit) that closes the stripe write hole.
 * :class:`~repro.pmstore.faults.FaultInjector` — media bit flips,
-  block/device loss and software scribbles, with deterministic seeding.
+  block/device loss and software scribbles, with deterministic
+  per-site seeding.
 * :class:`~repro.pmstore.scrubber.Scrubber` — parity-consistency
   scrubbing: detect, locate (checksum-assisted) and repair corruption.
 """
 
-from repro.pmstore.store import PMStore, StoreStats, ObjectMeta
-from repro.pmstore.faults import FaultInjector, FaultEvent, TransientFault
+from repro.pmstore.faults import FaultEvent, FaultInjector, TransientFault
+from repro.pmstore.pmem import (
+    ATOM_BYTES,
+    LINE_BYTES,
+    PendingLine,
+    PersistenceDomain,
+    PersistenceDomainFull,
+    drop_unfenced,
+    keep_flushed,
+    seeded_line_policy,
+)
 from repro.pmstore.scrubber import Scrubber, ScrubReport
+from repro.pmstore.store import ObjectMeta, PMStore, RecoveryReport, StoreStats
+from repro.pmstore.wal import StripeWAL, TxIntent, WALFull
 
 __all__ = [
-    "PMStore",
-    "StoreStats",
-    "ObjectMeta",
-    "FaultInjector",
+    "ATOM_BYTES",
+    "LINE_BYTES",
     "FaultEvent",
-    "TransientFault",
-    "Scrubber",
+    "FaultInjector",
+    "ObjectMeta",
+    "PMStore",
+    "PendingLine",
+    "PersistenceDomain",
+    "PersistenceDomainFull",
+    "RecoveryReport",
     "ScrubReport",
+    "Scrubber",
+    "StoreStats",
+    "StripeWAL",
+    "TransientFault",
+    "TxIntent",
+    "WALFull",
+    "drop_unfenced",
+    "keep_flushed",
+    "seeded_line_policy",
 ]

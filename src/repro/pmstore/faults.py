@@ -8,6 +8,7 @@ region/device loss (detected erasures), and software scribbles
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -38,30 +39,53 @@ class FaultEvent:
 
 
 class FaultInjector:
-    """Deterministic fault source over a :class:`PMStore`."""
+    """Deterministic fault source over a :class:`PMStore`.
+
+    Randomness is drawn from *per-site* streams — one independent,
+    seeded generator per fault kind (and per created hook) — so the
+    targets a ``bit_flip`` picks do not depend on how many scribbles or
+    transient hooks ran before it. That call-order independence is what
+    lets chaos campaigns and crash campaigns compose deterministically:
+    adding a ``power_cut`` action to a schedule leaves every other
+    fault's targets bit-identical.
+    """
 
     def __init__(self, store: PMStore, seed: int = 0):
         self.store = store
+        self.seed = seed
+        #: Shared legacy stream, kept for callers that drew from
+        #: ``injector.rng`` directly; the injector itself no longer
+        #: uses it.
         self.rng = np.random.default_rng(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+        self._hook_count = 0
         self.events: list[FaultEvent] = []
 
-    def _random_block(self) -> tuple[int, int]:
-        sid = int(self.rng.integers(self.store.num_stripes))
-        block = int(self.rng.integers(self.store.k + self.store.parity_blocks))
+    def _stream(self, site: str) -> np.random.Generator:
+        """The independent RNG stream of one injection site."""
+        if site not in self._streams:
+            self._streams[site] = np.random.default_rng(
+                [self.seed, zlib.crc32(site.encode())])
+        return self._streams[site]
+
+    def _random_block(self, rng: np.random.Generator) -> tuple[int, int]:
+        sid = int(rng.integers(self.store.num_stripes))
+        block = int(rng.integers(self.store.k + self.store.parity_blocks))
         return sid, block
 
     def bit_flip(self, stripe: int | None = None, block: int | None = None,
                  nbits: int = 1) -> FaultEvent:
         """Flip random bit(s) in one block — *silent* corruption."""
+        rng = self._stream("bit_flip")
         if stripe is None or block is None:
-            stripe, block = self._random_block()
+            stripe, block = self._random_block(rng)
         blocks = self.store.blocks_of(stripe)
         target = blocks[block]
         s = self.store._stripes[stripe]
         arr = s.data[block] if block < self.store.k else s.parity[block - self.store.k]
         for _ in range(nbits):
-            byte = int(self.rng.integers(len(target)))
-            bit = int(self.rng.integers(8))
+            byte = int(rng.integers(len(target)))
+            bit = int(rng.integers(8))
             arr[byte] ^= 1 << bit
         ev = FaultEvent("bit_flip", stripe, block, f"{nbits} bit(s)")
         self.events.append(ev)
@@ -70,12 +94,13 @@ class FaultInjector:
     def scribble(self, stripe: int | None = None, block: int | None = None,
                  length: int = 64) -> FaultEvent:
         """Overwrite a run of bytes with garbage (software error path)."""
+        rng = self._stream("scribble")
         if stripe is None or block is None:
-            stripe, block = self._random_block()
+            stripe, block = self._random_block(rng)
         s = self.store._stripes[stripe]
         arr = s.data[block] if block < self.store.k else s.parity[block - self.store.k]
-        start = int(self.rng.integers(max(1, len(arr) - length)))
-        arr[start:start + length] = self.rng.integers(
+        start = int(rng.integers(max(1, len(arr) - length)))
+        arr[start:start + length] = rng.integers(
             0, 256, min(length, len(arr) - start), dtype=np.uint8)
         ev = FaultEvent("scribble", stripe, block, f"{length} B @ {start}")
         self.events.append(ev)
@@ -85,7 +110,7 @@ class FaultInjector:
                    block: int | None = None) -> FaultEvent:
         """Lose one block region — a *detected* erasure."""
         if stripe is None or block is None:
-            stripe, block = self._random_block()
+            stripe, block = self._random_block(self._stream("block_loss"))
         self.store.mark_lost(stripe, block)
         ev = FaultEvent("block_loss", stripe, block)
         self.events.append(ev)
@@ -117,6 +142,8 @@ class FaultInjector:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
         failures: dict[tuple[str, str], int] = {}
+        self._hook_count += 1
+        rng = self._stream(f"transient:{self._hook_count}")
 
         def hook(op: str, key: str) -> None:
             if op not in ops:
@@ -124,7 +151,7 @@ class FaultInjector:
             seen = failures.get((op, key), 0)
             if seen >= max_failures_per_key:
                 return
-            if self.rng.random() < rate:
+            if rng.random() < rate:
                 failures[(op, key)] = seen + 1
                 self.events.append(
                     FaultEvent("transient", -1, -1, f"{op} {key!r}"))
@@ -150,6 +177,8 @@ class FaultInjector:
         if end_ns <= start_ns:
             raise ValueError(f"empty storm window [{start_ns}, {end_ns})")
         failures: dict[tuple[str, str], int] = {}
+        self._hook_count += 1
+        rng = self._stream(f"storm:{self._hook_count}")
 
         def hook(op: str, key: str) -> None:
             if op not in ops or not start_ns <= clock_fn() < end_ns:
@@ -157,7 +186,7 @@ class FaultInjector:
             seen = failures.get((op, key), 0)
             if seen >= max_failures_per_key:
                 return
-            if self.rng.random() < rate:
+            if rng.random() < rate:
                 failures[(op, key)] = seen + 1
                 self.events.append(
                     FaultEvent("transient", -1, -1,

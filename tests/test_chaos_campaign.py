@@ -56,7 +56,7 @@ def test_campaign_schedule_sorted_and_with_seed():
 def test_canned_campaign_library():
     assert set(CANNED_CAMPAIGNS) == {
         "single_device_loss", "corruption_wave", "retry_storm",
-        "kitchen_sink"}
+        "kitchen_sink", "power_cycle"}
     for name, build in CANNED_CAMPAIGNS.items():
         campaign = build(seed=3)
         assert campaign.name == name
