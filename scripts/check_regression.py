@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Gate the benchmark history ledger against rolling baselines.
+
+Reads ``BENCH_history.jsonl`` (or ``$REPRO_BENCH_HISTORY`` / an explicit
+path) and compares the latest entry of every run against the median of
+its prior entries via :func:`repro.obs.regress.detect_regressions` —
+the coordinator's own §4.1.2 flag language: a gated metric worse than
+110% of the rolling baseline warns (contention-grade drift), worse than
+150% fails the gate (inefficient-prefetcher-grade regression).
+
+Exit status: 0 when clean or when nothing is comparable yet (a history
+of first entries only seeds baselines); 1 when any metric exceeds the
+fail factor; 2 on usage errors (e.g. a missing ledger file).
+
+Usage:  python scripts/check_regression.py [HISTORY] [--window N]
+            [--warn F] [--fail F] [--run ID ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.regress import detect_regressions, history_path  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when the latest benchmark entry regresses past "
+                    "150%% of its rolling baseline (warn past 110%%).")
+    parser.add_argument("history", nargs="?", default=None,
+                        help="ledger path (default: $REPRO_BENCH_HISTORY "
+                             "or BENCH_history.jsonl)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="rolling-baseline window (prior entries)")
+    parser.add_argument("--warn", type=float, default=1.10,
+                        help="warn factor (default 1.10)")
+    parser.add_argument("--fail", type=float, default=1.50,
+                        help="fail factor (default 1.50)")
+    parser.add_argument("--run", action="append", default=None,
+                        help="gate only this run id (repeatable)")
+    args = parser.parse_args(argv)
+
+    path = history_path(args.history)
+    if not path.exists():
+        print(f"check_regression: no history ledger at {path}",
+              file=sys.stderr)
+        return 2
+    report = detect_regressions(path, window=args.window,
+                                warn_factor=args.warn,
+                                fail_factor=args.fail, runs=args.run)
+    print(report.render())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

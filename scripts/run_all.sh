@@ -36,11 +36,27 @@ python scripts/check_trace.py trace_smoke.json \
     --require sim.chunk \
     --require service.request
 
+echo "== audit smoke job (decision ledger + counterfactual regret replay) =="
+# A fig-10-style adaptive episode must yield a fully-evidenced decision
+# ledger whose counterfactual replay scores every switch against the
+# per-window oracle, byte-identically across reruns; the exported trace
+# must carry the decision.* instants on the shared timeline.
+python -m repro.bench audit --seed 0 --trace audit_trace.json
+python scripts/check_trace.py audit_trace.json \
+    --require decision.evaluated \
+    --require decision.switch
+
 echo "== bench sweep smoke job (parallel ≡ serial ≡ warm, perf baseline) =="
 # The smoke grid runs serial, parallel (--workers 2) and warm-cache and
 # exits non-zero unless all three produce bit-identical results; the
 # report doubles as the parallel-speedup perf baseline.
 python -m repro.bench sweep --grid smoke --workers 2 --json BENCH_sweep.json
+
+echo "== perf-regression gate (rolling baseline over BENCH_history.jsonl) =="
+# Every bench invocation above appended to the history ledger; the gate
+# fails when any gated metric of the latest entries exceeds 150% of its
+# rolling baseline (warns past 110% — the coordinator's own thresholds).
+python scripts/check_regression.py
 
 echo "== chaos smoke job (seeded campaign, durability audit must be clean) =="
 # A short seeded chaos campaign must end with zero acknowledged-write

@@ -15,6 +15,7 @@ import time
 
 def _experiments() -> dict:
     from repro.bench.ablations import ALL_ABLATIONS
+    from repro.bench.audit_scenario import ALL_AUDIT_SCENARIOS
     from repro.bench.chaos_scenario import ALL_CHAOS_SCENARIOS
     from repro.bench.crash_scenario import ALL_CRASH_SCENARIOS
     from repro.bench.figures import ALL_FIGURES
@@ -24,6 +25,7 @@ def _experiments() -> dict:
     out.update(ALL_SCENARIOS)
     out.update(ALL_CHAOS_SCENARIOS)
     out.update(ALL_CRASH_SCENARIOS)
+    out.update(ALL_AUDIT_SCENARIOS)
     return out
 
 
@@ -69,6 +71,10 @@ def main(argv: list[str] | None = None) -> int:
                              "decision and service request span, then write "
                              "a Chrome trace_event JSON (or a JSONL span "
                              "log if the path ends in .jsonl)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending this run to the benchmark "
+                             "history ledger (BENCH_history.jsonl or "
+                             "$REPRO_BENCH_HISTORY)")
     args = parser.parse_args(argv)
 
     table = _experiments()
@@ -106,6 +112,16 @@ def main(argv: list[str] | None = None) -> int:
             result = _run_experiment(table[name], args.volume, args.seed)
             if mark is not None:
                 mark.end(tracer.max_ts)
+            if not args.no_history:
+                # Every runner invocation extends the perf trajectory the
+                # regression gate (scripts/check_regression.py) compares
+                # against.
+                from repro.obs.regress import BenchHistory
+                metrics = result.history_metrics()
+                metrics["wall_s"] = time.time() - t0
+                BenchHistory().append(
+                    f"bench:{name}", metrics,
+                    meta={"seed": args.seed, "volume": args.volume})
             text = result.render()
             if args.plot:
                 from repro.bench.plotting import ascii_chart

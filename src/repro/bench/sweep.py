@@ -149,12 +149,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--disk-cache", action="store_true",
                         help="persist the content cache under "
                              "~/.cache/repro (REPRO_CACHE_DIR)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending this run to the benchmark "
+                             "history ledger (BENCH_history.jsonl or "
+                             "$REPRO_BENCH_HISTORY)")
     args = parser.parse_args(argv)
 
     spec = GRIDS[args.grid](args.volume)
     cache = ContentCache(disk=args.disk_cache)
     report = benchmark_sweep(spec, workers=args.workers, cache=cache)
     print(render_report(report))
+
+    if not args.no_history:
+        from repro.obs.regress import BenchHistory
+        BenchHistory().append(
+            f"sweep:{args.grid}",
+            {"serial_s": report["serial_s"],
+             "parallel_s": report["parallel_s"],
+             "warm_s": report["warm_s"],
+             "speedup_parallel": report["speedup_parallel"],
+             "speedup_warm": report["speedup_warm"]},
+            meta={"cells": report["grid"]["cells"],
+                  "workers": report["workers"],
+                  "cpus": report["cpus"],
+                  "result_digest": report["result_digest"]})
 
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)

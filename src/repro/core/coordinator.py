@@ -64,6 +64,60 @@ class PolicySwitch(NamedTuple):
     new: Policy
 
 
+class ThresholdCheck(NamedTuple):
+    """One §4.1.2 predicate evaluation: the measured value, the limit it
+    was compared against, and whether it fired."""
+
+    name: str
+    value: float
+    limit: float
+    fired: bool
+
+    def describe(self) -> str:
+        mark = "FIRED" if self.fired else "ok"
+        return f"{self.name}: {self.value:.4g} vs {self.limit:.4g} [{mark}]"
+
+
+class DecisionEvidence(NamedTuple):
+    """Everything the coordinator saw and weighed for one decision.
+
+    Recorded on :attr:`AdaptiveCoordinator.decision_log` for every
+    initial-policy derivation and every :meth:`~AdaptiveCoordinator.
+    observe` sample — the raw material for the
+    :class:`repro.obs.audit.DecisionLedger` and the counterfactual
+    regret replay (:mod:`repro.obs.replay`).
+    """
+
+    #: ``"initial"`` (I/O-pattern decision at construction) or
+    #: ``"observe"`` (one counter-delta sample).
+    kind: str
+    #: Sample index (0 for the initial decision).
+    sample: int
+    #: Timestamp on the simulated timeline the decision applies from.
+    now_ns: float
+    #: Non-zero counter deltas the decision saw (empty for initial).
+    delta: dict
+    #: Every threshold predicate evaluated, in evaluation order.
+    checks: tuple
+    #: Candidate policies weighed (always includes ``chosen``).
+    candidates: tuple
+    #: Policy in force before the decision (None for initial).
+    old: Policy | None
+    #: Policy in force after the decision.
+    chosen: Policy
+    #: Whether the decision changed the policy.
+    switched: bool
+    #: Hill-climb trajectory ``(step, distance, ns_per_byte)`` when a
+    #: distance search ran as part of this decision.
+    climb: tuple
+    #: Chunk throughput observed with the sample (None when unknown).
+    throughput_gbps: float | None
+
+    def fired(self, name: str) -> bool:
+        """Whether the named predicate fired in this decision."""
+        return any(c.fired for c in self.checks if c.name == name)
+
+
 class AdaptiveCoordinator:
     """Decides and adapts the prefetcher-scheduling policy for one job."""
 
@@ -71,13 +125,23 @@ class AdaptiveCoordinator:
                  config: CoordinatorConfig | None = None,
                  probe: Callable[[int], float] | None = None,
                  policy_probe: Callable[["Policy"], float] | None = None,
-                 on_switch: Callable[[PolicySwitch], None] | None = None):
+                 on_switch: Callable[[PolicySwitch], None] | None = None,
+                 on_decision: Callable[[DecisionEvidence], None] | None = None):
         self.wl = wl
         self.hw = hw
         self.config = config or CoordinatorConfig()
         self.probe = probe
         self.policy_probe = policy_probe
         self.on_switch = on_switch
+        self.on_decision = on_decision
+        #: Full evidence trail, one entry per decision (the initial
+        #: I/O-pattern decision plus every observe() sample) — consumed
+        #: by :class:`repro.obs.audit.DecisionLedger`.
+        self.decision_log: list[DecisionEvidence] = []
+        #: Stripes per adaptation window of the enclosing run, set by
+        #: the DIALGA chunk loop — the counterfactual replay's default
+        #: window size.
+        self.window_stripes: int | None = None
         self.policy = self._initial_policy()
         #: Low-pressure references (paper: "110% of the average latency
         #: under low pressure"). Set via :meth:`set_baseline` from a
@@ -98,11 +162,19 @@ class AdaptiveCoordinator:
             self.baseline_latency_ns = sample.avg_load_latency_ns
             self.baseline_useless_per_load = sample.hwpf_useless / sample.loads
 
+    def _record(self, evidence: DecisionEvidence) -> None:
+        """Append one decision to the evidence trail, notifying any
+        attached ledger."""
+        self.decision_log.append(evidence)
+        if self.on_decision is not None:
+            self.on_decision(evidence)
+
     # -- initial decision from the I/O access pattern ---------------------
 
-    def _search_distance(self, start: int, upper: int) -> int:
+    def _search_distance(self, start: int, upper: int) -> tuple[int, tuple]:
+        """Hill-climb the distance; returns (best, accepted trajectory)."""
         if self.probe is None:
-            return start
+            return start, ()
         tracer = get_tracer()
         on_step = None
         if tracer.enabled:
@@ -122,7 +194,7 @@ class AdaptiveCoordinator:
             tracer.event("coordinator.hillclimb_done", tracer.max_ts,
                          track="coordinator", start=start, best=best,
                          evaluations=climber.evaluations)
-        return best
+        return best, tuple(climber.trajectory)
 
     def _high_pressure_policy(self) -> Policy:
         """§4.1.2 + §4.3.3: disable the streamer (shuffle), expand the
@@ -145,9 +217,26 @@ class AdaptiveCoordinator:
         # stripes hit pressure earlier (§5.3's 8 x 48 bound).
         threshold = min(cfg.thread_threshold,
                         thrash_thread_bound(wl.k, self.hw.pm))
+        checks = [ThresholdCheck("thread_pressure", wl.nthreads, threshold,
+                                 wl.nthreads > threshold),
+                  ThresholdCheck("wide_stripe", wl.k, cfg.wide_stripe_k,
+                                 wl.k > cfg.wide_stripe_k),
+                  ThresholdCheck("large_block", wl.block_bytes, 4096,
+                                 wl.block_bytes >= 4096)]
+
+        def decide(chosen: Policy, candidates: tuple, climb: tuple) -> Policy:
+            self._record(DecisionEvidence(
+                kind="initial", sample=0, now_ns=0.0, delta={},
+                checks=tuple(checks), candidates=candidates, old=None,
+                chosen=chosen, switched=False, climb=climb,
+                throughput_gbps=None))
+            return chosen
+
         if wl.nthreads > threshold:
-            return self._high_pressure_policy()
-        d = self._search_distance(wl.k, upper=max(2, min(elems - 1, 8 * wl.k)))
+            high = self._high_pressure_policy()
+            return decide(high, (high,), ())
+        d, climb = self._search_distance(
+            wl.k, upper=max(2, min(elems - 1, 8 * wl.k)))
         d_first, d = bf_distances(wl.k, base=d) if self.probe is not None \
             else bf_distances(wl.k)
         d = min(d, max(1, elems - 1))
@@ -159,6 +248,7 @@ class AdaptiveCoordinator:
             # the non-uniform BF distances are for the small-block
             # regime where XPLine-leading lines pay the media latency.
             d_first = None
+        candidates: tuple = ()
         if d_first is not None and self.policy_probe is not None:
             # §4.3.2: the coordinator *adjusts* the buffer-friendly
             # distances — including backing off to uniform when the
@@ -166,18 +256,21 @@ class AdaptiveCoordinator:
             uniform = Policy(hw_prefetch=True, sw_distance=d)
             split = Policy(hw_prefetch=True, sw_distance=d,
                            bf_first_distance=d_first)
-            if self.policy_probe(uniform) <= self.policy_probe(split):
+            candidates = (uniform, split)
+            u_cost, s_cost = self.policy_probe(uniform), self.policy_probe(split)
+            checks.append(ThresholdCheck("bf_split_pays", s_cost, u_cost,
+                                         s_cost < u_cost))
+            if u_cost <= s_cost:
                 d_first = None
-        if wl.k > cfg.wide_stripe_k:
-            # Wide stripes: no HW management needed (streamer gave up);
-            # independent software prefetching carries the load.
-            return Policy(hw_prefetch=True, sw_distance=d,
-                          bf_first_distance=d_first)
-        # Narrow/medium stripes at low pressure: keep the streamer on
-        # (its extra traffic is harmless here) plus pipelined SW
-        # prefetch with buffer-friendly distances.
-        return Policy(hw_prefetch=True, sw_distance=d,
-                      bf_first_distance=d_first)
+        # Low thread pressure: keep the streamer on regardless of
+        # stripe width (wide stripes self-disable it; narrow stripes'
+        # extra traffic is harmless) plus pipelined SW prefetch with
+        # buffer-friendly distances.
+        chosen = Policy(hw_prefetch=True, sw_distance=d,
+                        bf_first_distance=d_first)
+        if chosen not in candidates:
+            candidates = candidates + (chosen,)
+        return decide(chosen, candidates, climb)
 
     # -- runtime adaptation from sampled cache events ----------------------
 
@@ -194,17 +287,26 @@ class AdaptiveCoordinator:
         self._samples_seen += 1
         if sample.loads == 0:
             return self.policy
+        ts = (now_ns if now_ns is not None
+              else self._samples_seen * cfg.sample_period_ns)
         avg_lat = sample.avg_load_latency_ns
         useless_per_load = sample.hwpf_useless / sample.loads
         if self.baseline_latency_ns is None:
             self.baseline_latency_ns = avg_lat
             self.baseline_useless_per_load = useless_per_load
-        contention = avg_lat > cfg.latency_factor * self.baseline_latency_ns
+        lat_limit = cfg.latency_factor * self.baseline_latency_ns
+        contention = avg_lat > lat_limit
         ref = self.baseline_useless_per_load or 0.0
         if ref > 1e-6:
-            inefficient = useless_per_load > cfg.useless_growth_factor * ref
+            useless_limit = cfg.useless_growth_factor * ref
         else:
-            inefficient = useless_per_load > 0.05
+            useless_limit = 0.05
+        inefficient = useless_per_load > useless_limit
+        checks = [ThresholdCheck("contention", avg_lat, lat_limit, contention),
+                  ThresholdCheck("inefficient", useless_per_load,
+                                 useless_limit, inefficient)]
+        old, climb = self.policy, ()
+        candidates = [self.policy]
         new = self.policy
         if self.policy.hw_prefetch and contention and inefficient:
             # Both signals firing means prefetch-driven buffer thrash:
@@ -212,30 +314,47 @@ class AdaptiveCoordinator:
             # what we ran before so relief can restore it.
             self._saved_policy = self.policy
             new = self._high_pressure_policy()
+            candidates.append(new)
         elif not self.policy.hw_prefetch and not contention \
                 and self._saved_policy is not None:
             # Pressure relieved on a policy we switched dynamically.
+            candidates.append(self._saved_policy)
             new = self._saved_policy
             self._saved_policy = None
+        elif self.policy.hw_prefetch:
+            # The high-pressure alternative was on the table but the
+            # evidence kept the current policy.
+            candidates.append(self._high_pressure_policy())
+        elif self._saved_policy is not None:
+            candidates.append(self._saved_policy)
         # Performance fluctuation retriggers the distance search.
         if throughput_gbps is not None and self._prev_throughput:
             swing = abs(throughput_gbps - self._prev_throughput) / self._prev_throughput
-            if swing > cfg.perf_fluctuation and self.probe is not None:
+            fluctuated = swing > cfg.perf_fluctuation
+            checks.append(ThresholdCheck("fluctuation", swing,
+                                         cfg.perf_fluctuation, fluctuated))
+            if fluctuated and self.probe is not None:
                 lines = max(1, self.wl.block_bytes // 64)
                 upper = max(2, min(lines * self.wl.k - 1, 8 * self.wl.k))
-                d = self._search_distance(new.sw_distance or self.wl.k, upper)
+                d, climb = self._search_distance(
+                    new.sw_distance or self.wl.k, upper)
                 if d != new.sw_distance:
                     new = new.with_(sw_distance=d)
+                    candidates.append(new)
         if throughput_gbps is not None:
             self._prev_throughput = throughput_gbps
+        self._record(DecisionEvidence(
+            kind="observe", sample=self._samples_seen, now_ns=ts,
+            delta=sample.nonzero_dict(), checks=tuple(checks),
+            candidates=tuple(dict.fromkeys(candidates)), old=old,
+            chosen=new, switched=new != old, climb=climb,
+            throughput_gbps=throughput_gbps))
         if new != self.policy:
             self.switches += 1
             event = PolicySwitch(self._samples_seen, self.policy, new)
             self.switch_events.append(event)
             tracer = get_tracer()
             if tracer.enabled:
-                ts = (now_ns if now_ns is not None
-                      else self._samples_seen * cfg.sample_period_ns)
                 tracer.event("coordinator.policy_switch", ts,
                              track="coordinator", sample=event.sample,
                              old=self.policy.describe(),

@@ -297,6 +297,9 @@ class DialgaEncoder(CodingLibrary):
                     for _ in range(wl.nthreads)]
         total_stripes = wl.stripes_per_thread
         per_chunk = max(1, total_stripes // self.chunks)
+        # The replayer's default counterfactual window: one adaptation
+        # chunk, exactly what each decision governed.
+        coord.window_stripes = per_chunk
         done = 0
         # The chunk loop is the paper's PMU sampler: one delta per
         # chunk boundary, handed to the coordinator and attached to

@@ -45,6 +45,10 @@ class HillClimber:
         self.on_step = on_step
         self._cache: dict[int, float] = {}
         self.evaluations = 0
+        #: Accepted moves of the last :meth:`search` as ``(step, x,
+        #: value)`` tuples — the decision ledger records this trajectory
+        #: as the §4.1.2 search evidence.
+        self.trajectory: list[tuple[int, int, float]] = []
 
     def _eval(self, x: int) -> float:
         if x not in self._cache:
@@ -65,6 +69,7 @@ class HillClimber:
         """Climb from ``start``; returns ``(best_x, best_value)``."""
         x = min(max(start, self.lower), self.upper)
         best = self._eval(x)
+        self.trajectory = [(0, x, best)]
         if self.on_step is not None:
             self.on_step(0, x, best)
         for step in range(1, self.max_steps + 1):
@@ -75,6 +80,7 @@ class HillClimber:
             v, c = min(vals)
             if v < best:
                 best, x = v, c
+                self.trajectory.append((step, x, best))
                 if self.on_step is not None:
                     self.on_step(step, x, best)
             else:

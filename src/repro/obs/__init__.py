@@ -39,6 +39,32 @@ from repro.obs.tracer import (
     use_tracer,
 )
 
+# Decision-audit / replay / regression symbols resolve lazily (PEP 562):
+# their modules import the simulator and core layers, which themselves
+# import repro.obs — eager imports here would cycle.
+_LAZY = {
+    "DecisionLedger": "repro.obs.audit",
+    "DecisionRecord": "repro.obs.audit",
+    "ledger_from_coordinator": "repro.obs.audit",
+    "DecisionRegret": "repro.obs.replay",
+    "RegretReport": "repro.obs.replay",
+    "replay_decisions": "repro.obs.replay",
+    "BenchHistory": "repro.obs.regress",
+    "RegressionFlag": "repro.obs.regress",
+    "RegressionReport": "repro.obs.regress",
+    "detect_regressions": "repro.obs.regress",
+    "history_path": "repro.obs.regress",
+    "metric_direction": "repro.obs.regress",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Tracer",
     "NullTracer",
@@ -62,4 +88,17 @@ __all__ = [
     "check_spans",
     "check_containment",
     "assert_well_formed",
+    # lazy (PEP 562) — decision audit, counterfactual replay, regression gate
+    "DecisionLedger",
+    "DecisionRecord",
+    "ledger_from_coordinator",
+    "DecisionRegret",
+    "RegretReport",
+    "replay_decisions",
+    "BenchHistory",
+    "RegressionFlag",
+    "RegressionReport",
+    "detect_regressions",
+    "history_path",
+    "metric_direction",
 ]

@@ -1,0 +1,228 @@
+"""The coordinator decision ledger (``repro.obs.audit``).
+
+The paper's central claim is that the adaptive coordinator picks the
+*right* prefetcher policy from counter evidence (§4.1.2). The tracer
+can already show *when* a switch happened; this module records *why* —
+per decision: the counter deltas the coordinator saw, every threshold
+predicate it evaluated (value, limit, fired?), the candidate policy
+set it weighed, the policy it chose, and the hill-climb trajectory of
+any distance search that ran.
+
+A :class:`DecisionLedger` consumes the
+:class:`~repro.core.coordinator.DecisionEvidence` trail an
+:class:`~repro.core.coordinator.AdaptiveCoordinator` accumulates —
+either live (wire :meth:`DecisionLedger.on_decision` as the
+coordinator's ``on_decision`` callback, or :meth:`attach` it) or after
+the fact (:meth:`ingest` / :func:`ledger_from_coordinator`). Records
+export as JSONL (:meth:`DecisionLedger.to_jsonl`) and as ``decision.*``
+events on the shared :class:`~repro.obs.tracer.Tracer` timeline
+(:meth:`emit_events`), and feed the counterfactual oracle replay in
+:mod:`repro.obs.replay`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DecisionRecord:
+    """One audited coordinator decision, JSON-ready except for the live
+    :class:`~repro.core.policy.Policy` objects kept for replay."""
+
+    #: Ledger index (ingestion order).
+    index: int
+    #: ``"initial"`` or ``"observe"`` (see DecisionEvidence.kind).
+    kind: str
+    #: Coordinator sample index (0 for the initial decision).
+    sample: int
+    #: Simulated timestamp the decision applies from.
+    now_ns: float
+    #: Non-zero counter deltas the coordinator saw.
+    delta: dict
+    #: Predicate evaluations as dicts: name/value/limit/fired.
+    checks: list
+    #: Candidate policies weighed (live Policy objects, chosen included).
+    candidates: list
+    #: Policy before the decision (None for the initial decision).
+    old: object | None
+    #: Policy after the decision.
+    chosen: object
+    #: Whether the policy changed.
+    switched: bool
+    #: Hill-climb trajectory ``(step, distance, ns_per_byte)``.
+    climb: list
+    #: Observed window throughput (None when unknown).
+    throughput_gbps: float | None
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (policies rendered via ``describe()``)."""
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "sample": self.sample,
+            "now_ns": self.now_ns,
+            "delta": dict(self.delta),
+            "checks": [dict(c) for c in self.checks],
+            "candidates": [p.describe() for p in self.candidates],
+            "old": self.old.describe() if self.old is not None else None,
+            "chosen": self.chosen.describe(),
+            "switched": self.switched,
+            "climb": [list(step) for step in self.climb],
+            "throughput_gbps": self.throughput_gbps,
+        }
+
+    def fired(self, name: str) -> bool:
+        """Whether the named predicate fired in this decision."""
+        return any(c["fired"] for c in self.checks if c["name"] == name)
+
+
+@dataclass
+class DecisionLedger:
+    """Append-only audit log of coordinator decisions.
+
+    Use one ledger per adaptive episode. Attach it to a coordinator
+    before the run for live capture, or ingest a finished coordinator's
+    ``decision_log`` afterwards — the records are identical either way
+    because the coordinator's evidence trail is itself complete.
+    """
+
+    records: list[DecisionRecord] = field(default_factory=list)
+    #: Workload/hardware of the audited episode (set by attach/ingest;
+    #: the replay's simulation inputs).
+    wl: object | None = None
+    hw: object | None = None
+    #: Default counterfactual window (stripes) — the coordinator's
+    #: adaptation chunk size when known.
+    window_stripes: int | None = None
+
+    # -- capture -----------------------------------------------------------
+
+    def on_decision(self, evidence) -> None:
+        """Record one :class:`~repro.core.coordinator.DecisionEvidence`
+        (suitable as the coordinator's ``on_decision`` callback)."""
+        self.records.append(DecisionRecord(
+            index=len(self.records),
+            kind=evidence.kind,
+            sample=evidence.sample,
+            now_ns=evidence.now_ns,
+            delta=dict(evidence.delta),
+            checks=[c._asdict() for c in evidence.checks],
+            candidates=list(evidence.candidates),
+            old=evidence.old,
+            chosen=evidence.chosen,
+            switched=evidence.switched,
+            climb=list(evidence.climb),
+            throughput_gbps=evidence.throughput_gbps,
+        ))
+
+    def attach(self, coordinator) -> "DecisionLedger":
+        """Wire this ledger into a live coordinator (chaining any
+        existing hook) and ingest decisions it already made."""
+        self.wl = coordinator.wl
+        self.hw = coordinator.hw
+        for evidence in coordinator.decision_log:
+            self.on_decision(evidence)
+        previous = coordinator.on_decision
+
+        def hook(evidence):
+            if previous is not None:
+                previous(evidence)
+            self.on_decision(evidence)
+
+        coordinator.on_decision = hook
+        return self
+
+    def ingest(self, coordinator) -> "DecisionLedger":
+        """Pull a finished coordinator's whole evidence trail."""
+        self.wl = coordinator.wl
+        self.hw = coordinator.hw
+        if coordinator.window_stripes is not None:
+            self.window_stripes = coordinator.window_stripes
+        for evidence in coordinator.decision_log:
+            self.on_decision(evidence)
+        return self
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def switches(self) -> list[DecisionRecord]:
+        """Decisions that changed the policy."""
+        return [r for r in self.records if r.switched]
+
+    def to_records(self) -> list[dict]:
+        """Every decision as a plain dict (JSONL line order)."""
+        return [r.to_dict() for r in self.records]
+
+    def to_jsonl(self) -> str:
+        """The ledger as newline-delimited JSON."""
+        return "\n".join(json.dumps(r, sort_keys=True)
+                         for r in self.to_records()) + "\n"
+
+    def write_jsonl(self, path) -> pathlib.Path:
+        """Write the JSONL decision log; returns the path."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    # -- tracer export -----------------------------------------------------
+
+    def emit_events(self, tracer=None) -> int:
+        """Lay the ledger down as ``decision.*`` records on a tracer
+        timeline; returns how many records were emitted.
+
+        Every decision becomes a ``decision.evaluated`` instant at its
+        recorded simulated timestamp (with the fired predicates and the
+        candidate count), and every policy change additionally a
+        ``decision.switch`` instant carrying the old/new policies.
+        Timestamps are the evidence's own ``now_ns``, so post-hoc
+        emission lands exactly where live emission would.
+        """
+        if tracer is None:
+            from repro.obs.tracer import get_tracer
+            tracer = get_tracer()
+        if not tracer.enabled:
+            return 0
+        emitted = 0
+        for rec in self.records:
+            fired = [c["name"] for c in rec.checks if c["fired"]]
+            tracer.event("decision.evaluated", rec.now_ns,
+                         track="decision", index=rec.index, kind=rec.kind,
+                         sample=rec.sample, fired=" ".join(fired) or "none",
+                         candidates=len(rec.candidates),
+                         chosen=rec.chosen.describe(),
+                         switched=rec.switched)
+            emitted += 1
+            if rec.switched and rec.old is not None:
+                tracer.event("decision.switch", rec.now_ns,
+                             track="decision", index=rec.index,
+                             sample=rec.sample, old=rec.old.describe(),
+                             new=rec.chosen.describe())
+                emitted += 1
+        return emitted
+
+    def render(self, *, max_rows: int | None = None) -> str:
+        """Human-readable decision table (for demos and reports)."""
+        lines = [f"decision ledger: {len(self.records)} decisions, "
+                 f"{len(self.switches)} switches"]
+        rows = self.records if max_rows is None else self.records[:max_rows]
+        for rec in rows:
+            fired = [c["name"] for c in rec.checks if c["fired"]]
+            mark = "SWITCH" if rec.switched else "keep  "
+            lines.append(
+                f"  [{rec.index:>2}] {rec.kind:<7} t={rec.now_ns / 1e3:10.1f}us "
+                f"{mark} -> {rec.chosen.describe()}  "
+                f"fired={','.join(fired) or '-'}  "
+                f"candidates={len(rec.candidates)}"
+                + (f"  climb={len(rec.climb)} moves" if rec.climb else ""))
+        if max_rows is not None and len(self.records) > max_rows:
+            lines.append(f"  ... (+{len(self.records) - max_rows} more)")
+        return "\n".join(lines)
+
+
+def ledger_from_coordinator(coordinator) -> DecisionLedger:
+    """Build a ledger from a finished coordinator's evidence trail."""
+    return DecisionLedger().ingest(coordinator)

@@ -157,45 +157,100 @@ def write_trace(tracer, path) -> pathlib.Path:
 # -- Prometheus text -------------------------------------------------------
 
 def _metric_name(raw: str) -> str:
-    """Sanitize a registry counter name into a Prometheus metric name."""
-    return "".join(c if c.isalnum() or c == "_" else "_" for c in raw)
+    """Sanitize a registry counter name into a Prometheus metric name.
+
+    Invalid characters map to ``_``; a leading digit gains a ``_``
+    prefix (metric names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``).
+    """
+    name = "".join(c if c.isalnum() or c == "_" else "_" for c in raw)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote and newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text (backslash and newline only — quotes are fine)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _le_label(bound: float) -> str:
+    """Render a bucket bound the way Prometheus clients do: integral
+    bounds without a trailing ``.0``."""
+    return str(int(bound)) if float(bound).is_integer() else repr(bound)
 
 
 def prometheus_text(metrics, *, prefix: str = "repro_service") -> str:
     """Render a metrics snapshot in Prometheus exposition format.
 
     ``metrics`` is a :class:`~repro.service.metrics.MetricsRegistry`
-    or its ``snapshot()`` dict. Counters become ``*_total`` counters,
-    per-operation latency histograms become summaries with quantile
-    labels, and the queue-depth gauge family rounds it out.
+    or its ``snapshot()`` dict. Counters become ``*_total`` counters;
+    per-operation latencies export twice — the quantile **summary**
+    family (``{prefix}_latency_ns``, the original output shape) and a
+    cumulative **histogram** family (``{prefix}_latency_ns_hist`` with
+    ``_bucket{le=...}`` series, rendered when the snapshot carries
+    bucket data); the queue-depth gauge family rounds it out. Every
+    family gets ``# HELP`` and ``# TYPE`` lines.
     """
     snap = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
     lines: list[str] = []
     for name in sorted(snap.get("counters", {})):
         metric = f"{prefix}_{_metric_name(name)}_total"
+        lines.append(f"# HELP {metric} "
+                     + _escape_help(f"Service counter '{name}'."))
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {snap['counters'][name]}")
     latency = snap.get("latency", {})
     if latency:
         metric = f"{prefix}_latency_ns"
+        lines.append(f"# HELP {metric} Request latency quantiles by "
+                     "operation (simulated ns).")
         lines.append(f"# TYPE {metric} summary")
         for op in sorted(latency):
             s = latency[op]
+            lop = _escape_label(op)
             quantiles = [(0.5, s.get("p50_ns")), (0.9, s.get("p90_ns")),
                          (0.95, s.get("p95_ns")), (0.99, s.get("p99_ns")),
                          (0.999, s.get("p999_ns"))]
             for q, value in quantiles:
                 if value is not None:
                     lines.append(
-                        f'{metric}{{op="{op}",quantile="{q}"}} {value}')
-            lines.append(f'{metric}_sum{{op="{op}"}} '
+                        f'{metric}{{op="{lop}",quantile="{q}"}} {value}')
+            lines.append(f'{metric}_sum{{op="{lop}"}} '
                          f'{s["mean_ns"] * s["count"]}')
-            lines.append(f'{metric}_count{{op="{op}"}} {s["count"]}')
+            lines.append(f'{metric}_count{{op="{lop}"}} {s["count"]}')
+        if any(latency[op].get("buckets") for op in latency):
+            metric = f"{prefix}_latency_ns_hist"
+            lines.append(f"# HELP {metric} Request latency histogram by "
+                         "operation (simulated ns, cumulative buckets).")
+            lines.append(f"# TYPE {metric} histogram")
+            for op in sorted(latency):
+                s = latency[op]
+                if not s.get("buckets"):
+                    continue
+                lop = _escape_label(op)
+                for le, n in s["buckets"]:
+                    lines.append(f'{metric}_bucket{{op="{lop}",'
+                                 f'le="{_le_label(le)}"}} {n}')
+                lines.append(
+                    f'{metric}_bucket{{op="{lop}",le="+Inf"}} {s["count"]}')
+                lines.append(f'{metric}_sum{{op="{lop}"}} '
+                             f'{s["mean_ns"] * s["count"]}')
+                lines.append(f'{metric}_count{{op="{lop}"}} {s["count"]}')
     queue = snap.get("queue")
     if queue and queue.get("samples"):
-        for key, kind in (("max_depth", "gauge"), ("mean_depth", "gauge"),
-                          ("samples", "counter")):
+        for key, kind, help_text in (
+                ("max_depth", "gauge", "Maximum sampled queue depth."),
+                ("mean_depth", "gauge", "Mean sampled queue depth."),
+                ("samples", "counter", "Queue-depth samples recorded.")):
             metric = f"{prefix}_queue_{key}"
+            lines.append(f"# HELP {metric} {help_text}")
             lines.append(f"# TYPE {metric} {kind}")
             lines.append(f"{metric} {queue[key]}")
     return "\n".join(lines) + "\n"

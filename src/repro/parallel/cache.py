@@ -198,7 +198,9 @@ class SimCache:
 def install_sim_cache(store: ContentCache | None = None) -> ContentCache:
     """Install a (trace, hardware) result cache behind
     :func:`repro.simulate`; returns the backing store."""
-    store = store or ContentCache()
+    # `store or ...` would discard a caller's *empty* cache: ContentCache
+    # defines __len__, so a fresh store is falsy.
+    store = store if store is not None else ContentCache()
     _sim_api._SIM_CACHE = SimCache(store)
     return store
 

@@ -8,7 +8,17 @@ plain Python (no numpy) so snapshots are cheap and JSON-ready.
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
+
+#: Default Prometheus-style bucket upper bounds (ns): 1us..100ms in a
+#: 1-2.5-5 ladder. Service latencies are simulated-ns, so the ladder
+#: spans the whole regime the scenarios produce.
+DEFAULT_BUCKET_BOUNDS_NS = tuple(
+    base * mult
+    for base in (1e3, 1e4, 1e5, 1e6, 1e7)
+    for mult in (1.0, 2.5, 5.0)
+) + (1e8,)
 
 
 class LatencyHistogram:
@@ -83,6 +93,19 @@ class LatencyHistogram:
         """99.9th-percentile tail latency (ns)."""
         return self.percentile(99.9)
 
+    def cumulative_buckets(self, bounds=None) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs.
+
+        Each entry counts samples ``<= le``; the implicit ``+Inf``
+        bucket is :attr:`count`. Exact (we keep every sample), so the
+        exposition's ``_bucket`` series is never an approximation.
+        """
+        if bounds is None:
+            bounds = DEFAULT_BUCKET_BOUNDS_NS
+        values = self.sorted_values()
+        return [(float(le), bisect.bisect_right(values, float(le)))
+                for le in sorted(bounds)]
+
     def summary(self) -> dict:
         """count/mean/percentiles/max in one JSON-ready dict."""
         return {
@@ -94,6 +117,7 @@ class LatencyHistogram:
             "p99_ns": self.p99,
             "p999_ns": self.p999,
             "max_ns": self.max_ns,
+            "buckets": [[le, n] for le, n in self.cumulative_buckets()],
         }
 
 

@@ -367,6 +367,12 @@ class ErasureCodingService:
             # share one timeline.
             with tracer.shifted(self._ts(self.clock_ns)):
                 res = self.library.run(wl, self.hw)
+                coord = getattr(self.library, "last_coordinator", None)
+                if coord is not None and getattr(coord, "decision_log", None):
+                    # Coordinator decisions land as decision.* instants
+                    # on the same rebased timeline as the job's spans.
+                    from repro.obs.audit import ledger_from_coordinator
+                    ledger_from_coordinator(coord).emit_events(tracer)
         else:
             res = self.library.run(wl, self.hw)
         switches = getattr(self.library, "policy_switches", 0)

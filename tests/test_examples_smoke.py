@@ -52,6 +52,14 @@ def test_chaos_campaign_demo_example():
     assert "no acknowledged byte was lost" in out
 
 
+def test_decision_audit_demo_example():
+    out = _run("decision_audit_demo.py")
+    assert "SWITCH" in out
+    assert "oracle-normalized score" in out
+    assert "inefficient-prefetcher-grade" in out
+    assert "trajectory gated" in out
+
+
 def test_fault_tolerance_drill_example():
     out = _run("fault_tolerance_drill.py")
     assert "24/24 objects bit-exact" in out

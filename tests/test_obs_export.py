@@ -149,6 +149,74 @@ class TestPrometheus:
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry()).strip() == ""
 
+    def test_every_family_has_help_and_type(self):
+        text = prometheus_text(self._registry())
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                metric = line.split()[2]
+                assert f"# HELP {metric} " in text, metric
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_service_latency_ns_hist histogram" in text
+        bucket_lines = [line for line in text.splitlines()
+                        if line.startswith(
+                            'repro_service_latency_ns_hist_bucket{op="put"')]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert bucket_lines[-1].startswith(
+            'repro_service_latency_ns_hist_bucket{op="put",le="+Inf"}')
+        assert counts[-1] == 4
+        # Samples 100..400 ns all fall under the first (1000 ns) bound.
+        assert 'le="1000"} 4' in bucket_lines[0]
+        assert 'repro_service_latency_ns_hist_count{op="put"} 4' in text
+
+    def test_metric_name_mangling(self):
+        mx = MetricsRegistry()
+        mx.inc("faults.unrecoverable-total")
+        mx.inc("2xx responses")
+        text = prometheus_text(mx)
+        assert "repro_service_faults_unrecoverable_total_total 1" in text
+        # A leading digit is not a valid metric-name start.
+        assert "repro_service__2xx_responses_total 1" in text
+
+    def test_label_value_escaping(self):
+        mx = MetricsRegistry()
+        mx.observe_latency('put "big"\\\n', 100.0)
+        text = prometheus_text(mx)
+        assert '{op="put \\"big\\"\\\\\\n",quantile="0.5"}' in text
+        assert "\n\n" not in text  # the raw newline never leaks
+
+    def test_old_summary_shape_is_preserved(self):
+        # The pre-histogram consumers parse these exact series.
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_service_latency_ns summary" in text
+        assert 'repro_service_latency_ns{op="put",quantile="0.5"} ' in text
+        assert 'repro_service_latency_ns_sum{op="put"} ' in text
+        assert 'repro_service_latency_ns_count{op="put"} 4' in text
+
+    def test_snapshot_without_buckets_skips_histogram(self):
+        snap = self._registry().snapshot()
+        for s in snap["latency"].values():
+            del s["buckets"]
+        text = prometheus_text(snap)
+        assert "_hist" not in text
+        assert 'repro_service_latency_ns_count{op="put"} 4' in text
+
+
+class TestLatencyBuckets:
+    def test_cumulative_buckets_exact(self):
+        from repro.service.metrics import LatencyHistogram
+        h = LatencyHistogram()
+        for v in (500.0, 1000.0, 1500.0, 5e6):
+            h.record(v)
+        buckets = dict(h.cumulative_buckets(bounds=(1e3, 2.5e3, 1e6)))
+        assert buckets == {1e3: 2, 2.5e3: 3, 1e6: 3}  # le is inclusive
+
+    def test_empty_histogram_buckets(self):
+        from repro.service.metrics import LatencyHistogram
+        assert all(n == 0 for _, n in LatencyHistogram().cumulative_buckets())
+
 
 # -- property: generated traces survive every exporter ---------------------
 

@@ -90,3 +90,41 @@ def test_perf_report_multithread_thread_count():
               for t in range(3)]
     res = simulate(traces, hw)
     assert "3 thread(s)" in perf_report(res, hw)
+
+
+# -- compare-section threshold boundaries ----------------------------------
+
+def _synthetic(avg_lat_ns: float, useless: int = 0, loads: int = 1000):
+    from repro.simulator import Counters, SimResult
+    c = Counters()
+    c.loads = loads
+    c.load_stall_ns = avg_lat_ns * loads
+    c.hwpf_useless = useless
+    c.hwpf_issued = max(useless, 1)
+    return SimResult(makespan_ns=1e6, thread_times_ns=[1e6],
+                     counters=c, data_bytes=1 << 20)
+
+
+def test_compare_contention_flag_is_strictly_above_110_percent():
+    base = _synthetic(200.0)
+    # 1.10 * 200 has float fuzz just above 220: exactly-at stays quiet.
+    at = perf_report(_synthetic(220.0), compare=base)
+    assert "!! contention" not in at
+    above = perf_report(_synthetic(221.0), compare=base)
+    assert "!! contention" in above
+
+
+def test_compare_inefficient_flag_is_strictly_above_150_percent():
+    base = _synthetic(100.0, useless=10)  # 0.01 useless per load
+    at = perf_report(_synthetic(100.0, useless=15), compare=base)
+    assert "!! inefficient prefetcher" not in at
+    above = perf_report(_synthetic(100.0, useless=16), compare=base)
+    assert "!! inefficient prefetcher" in above
+
+
+def test_compare_flags_match_regression_gate_language():
+    """perf_report's 110%/150% flags and the history gate speak the same
+    thresholds (regress.py reuses the coordinator's factors)."""
+    report = perf_report(_synthetic(400.0), compare=_synthetic(200.0))
+    assert "110%" in report
+    assert "coordinator would flag this" in report
