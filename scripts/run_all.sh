@@ -58,6 +58,21 @@ echo "== perf-regression gate (rolling baseline over BENCH_history.jsonl) =="
 # rolling baseline (warns past 110% — the coordinator's own thresholds).
 python scripts/check_regression.py
 
+echo "== overload smoke job (graceful degradation, byte-identical reruns) =="
+# The overload scenario's own shape checks pin the acceptance triple:
+# retry-budget goodput holds while the no-budget counterfactual
+# collapses, every durability audit is clean, and brownout engages AND
+# disengages. The run must also be byte-identical across two
+# invocations and emit the overload.* trace events.
+python -m repro.bench overload --seed 0 --out overload_run_a \
+    --trace overload_trace.json
+python -m repro.bench overload --seed 0 --out overload_run_b --no-history
+diff overload_run_a/overload_scenario.txt overload_run_b/overload_scenario.txt
+python scripts/check_trace.py overload_trace.json \
+    --require overload.shed \
+    --require overload.brownout_enter \
+    --require overload.brownout_exit
+
 echo "== chaos smoke job (seeded campaign, durability audit must be clean) =="
 # A short seeded chaos campaign must end with zero acknowledged-write
 # loss; the scenario's own shape checks fail the run otherwise (exit 1).

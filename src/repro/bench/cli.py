@@ -19,6 +19,7 @@ def _experiments() -> dict:
     from repro.bench.chaos_scenario import ALL_CHAOS_SCENARIOS
     from repro.bench.crash_scenario import ALL_CRASH_SCENARIOS
     from repro.bench.figures import ALL_FIGURES
+    from repro.bench.overload_scenario import ALL_OVERLOAD_SCENARIOS
     from repro.bench.service_scenario import ALL_SCENARIOS
     out = dict(ALL_FIGURES)
     out.update(ALL_ABLATIONS)
@@ -26,6 +27,7 @@ def _experiments() -> dict:
     out.update(ALL_CHAOS_SCENARIOS)
     out.update(ALL_CRASH_SCENARIOS)
     out.update(ALL_AUDIT_SCENARIOS)
+    out.update(ALL_OVERLOAD_SCENARIOS)
     return out
 
 

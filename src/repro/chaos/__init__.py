@@ -29,12 +29,16 @@ Run one from the CLI: ``python -m repro.bench chaos --seed 0``.
 from repro.chaos.audit import AuditReport, DurabilityAuditor
 from repro.chaos.campaign import (
     CANNED_CAMPAIGNS,
+    OVERLOAD_CAMPAIGNS,
     Campaign,
     ChaosAction,
     corruption_wave,
+    flash_crowd,
     kitchen_sink,
     retry_storm,
+    retry_storm_overload,
     single_device_loss,
+    slow_device_tail,
 )
 from repro.chaos.engine import CampaignEngine
 from repro.chaos.report import CampaignReport
@@ -43,9 +47,13 @@ __all__ = [
     "ChaosAction",
     "Campaign",
     "CANNED_CAMPAIGNS",
+    "OVERLOAD_CAMPAIGNS",
     "single_device_loss",
     "corruption_wave",
     "retry_storm",
+    "retry_storm_overload",
+    "flash_crowd",
+    "slow_device_tail",
     "kitchen_sink",
     "CampaignEngine",
     "DurabilityAuditor",

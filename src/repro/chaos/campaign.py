@@ -9,6 +9,7 @@ the same campaign (same seed) produces a byte-identical report.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 #: Action kinds the engine knows how to apply.
@@ -20,6 +21,9 @@ ACTION_KINDS = frozenset({
     "transient_storm",  # window of operation-level transient faults
     "traffic_burst",    # extra put or get wave starting at the action
     "power_cut",        # power dies; WAL recovery brings the store back
+    "flash_crowd",      # oversized deadline-bearing burst (overload)
+    "slow_device",      # one device serves reads slowly for a window
+    "retry_storm",      # harsh per-key repeated transient faults
 })
 
 
@@ -52,6 +56,12 @@ class ChaosAction:
         line lost — the guaranteed minimum), ``keep`` (flushed lines
         survive the dying power), or ``tear`` (seeded adversarial
         keep/revert/tear per pending line).
+    penalty_ns:
+        Per-read stall a slow device adds (``slow_device``).
+    deadline_slack_ns:
+        Deadline budget given to every burst request (``flash_crowd``;
+        also honored by ``traffic_burst``): absolute deadline =
+        arrival + slack. ``inf`` (default) = no deadlines.
     note:
         Free-form label echoed in the campaign report.
     """
@@ -69,6 +79,8 @@ class ChaosAction:
     objects_per_client: int = 2
     payload_bytes: int = 1024
     mean_gap_ns: float = 2_000.0
+    penalty_ns: float = 0.0
+    deadline_slack_ns: float = math.inf
     note: str = ""
 
     def __post_init__(self):
@@ -78,10 +90,17 @@ class ChaosAction:
                 f"expected one of {sorted(ACTION_KINDS)}")
         if self.at_ns < 0:
             raise ValueError("actions cannot fire before t=0")
-        if self.kind == "transient_storm" and self.duration_ns <= 0:
+        if self.kind in ("transient_storm", "retry_storm") \
+                and self.duration_ns <= 0:
             raise ValueError("a storm needs duration_ns > 0")
-        if self.kind == "traffic_burst" and self.op not in ("put", "get"):
+        if self.kind in ("traffic_burst", "flash_crowd") \
+                and self.op not in ("put", "get"):
             raise ValueError(f"burst op must be put|get, got {self.op!r}")
+        if self.kind == "slow_device":
+            if self.duration_ns <= 0:
+                raise ValueError("slow_device needs duration_ns > 0")
+            if self.penalty_ns <= 0:
+                raise ValueError("slow_device needs penalty_ns > 0")
         if self.kind == "power_cut" and self.policy not in (
                 "drop", "keep", "tear"):
             raise ValueError(
@@ -96,9 +115,21 @@ class ChaosAction:
         elif self.kind == "transient_storm":
             detail = (f"rate={self.rate:.2f} "
                       f"for {self.duration_ns / 1e6:.2f}ms")
+        elif self.kind == "retry_storm":
+            detail = (f"rate={self.rate:.2f} x{self.count}/key "
+                      f"for {self.duration_ns / 1e6:.2f}ms")
         elif self.kind == "traffic_burst":
             detail = (f"{self.op} x{self.nclients}c"
                       f"x{self.objects_per_client}")
+        elif self.kind == "flash_crowd":
+            slack = ("inf" if math.isinf(self.deadline_slack_ns)
+                     else f"{self.deadline_slack_ns / 1e6:.2f}ms")
+            detail = (f"{self.op} x{self.nclients}c"
+                      f"x{self.objects_per_client} slack={slack}")
+        elif self.kind == "slow_device":
+            detail = (f"device={self.device} "
+                      f"+{self.penalty_ns / 1e6:.2f}ms "
+                      f"for {self.duration_ns / 1e6:.2f}ms")
         elif self.kind == "scribble":
             detail = f"count={self.count} len={self.length}B"
         elif self.kind == "power_cut":
@@ -273,4 +304,95 @@ CANNED_CAMPAIGNS = {
     "retry_storm": retry_storm,
     "kitchen_sink": kitchen_sink,
     "power_cycle": power_cycle,
+}
+
+
+def flash_crowd(seed: int = 0) -> Campaign:
+    """A deadline-bearing crowd ~10x the base load slams the service
+    mid-run: shed rate must stay bounded, brownout must engage under
+    the sustained pressure and disengage once the crowd passes, and
+    every acked byte must survive."""
+    return Campaign(
+        name="flash_crowd",
+        description="10x deadline-bearing crowd; bounded shed, "
+                    "brownout cycle, zero acked loss",
+        seed=seed,
+        actions=(
+            ChaosAction(at_ns=3e7, kind="flash_crowd", op="put",
+                        nclients=30, objects_per_client=4,
+                        mean_gap_ns=400.0, deadline_slack_ns=4e6,
+                        note="crowd of deadline writes"),
+            ChaosAction(at_ns=3.4e7, kind="flash_crowd", op="get",
+                        nclients=6, objects_per_client=3,
+                        mean_gap_ns=600.0, deadline_slack_ns=4e6,
+                        note="crowd re-reads under pressure"),
+            ChaosAction(at_ns=7e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        mean_gap_ns=50_000.0,
+                        note="calm read-back after the crowd"),
+        ),
+    )
+
+
+def slow_device_tail(seed: int = 0) -> Campaign:
+    """One device turns slow (not dead) for a long window while clients
+    read: hedged reads must cap the tail by racing the degraded path
+    against the stalled primary."""
+    return Campaign(
+        name="slow_device_tail",
+        description="slow device window; hedged reads cap the tail",
+        seed=seed,
+        actions=(
+            ChaosAction(at_ns=2.5e7, kind="slow_device", device=1,
+                        penalty_ns=3e6, duration_ns=5e7,
+                        note="device 1 turns slow"),
+            ChaosAction(at_ns=3e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        mean_gap_ns=20_000.0,
+                        note="reads into the slow window"),
+            ChaosAction(at_ns=8.5e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        mean_gap_ns=20_000.0,
+                        note="reads after recovery"),
+        ),
+    )
+
+
+def retry_storm_overload(seed: int = 0) -> Campaign:
+    """A harsh correlated-fault window (every key fails repeatedly)
+    under burst load — the metastability scenario. With retry budgets
+    the storm is absorbed; the no-budget counterfactual collapses."""
+    return Campaign(
+        name="retry_storm_overload",
+        description="harsh per-key fault storm under load; retry "
+                    "budget prevents metastable collapse",
+        seed=seed,
+        actions=(
+            ChaosAction(at_ns=3e7, kind="retry_storm",
+                        duration_ns=1e7, rate=1.0, count=5,
+                        note="every key fails repeatedly"),
+            ChaosAction(at_ns=3.1e7, kind="traffic_burst", op="put",
+                        nclients=6, objects_per_client=2,
+                        mean_gap_ns=2_000.0,
+                        note="writes inside the storm"),
+            ChaosAction(at_ns=4.2e7, kind="flash_crowd", op="put",
+                        nclients=25, objects_per_client=4,
+                        mean_gap_ns=1_000.0, deadline_slack_ns=3e7,
+                        note="deadline crowd lands on the backlog"),
+            ChaosAction(at_ns=7e7, kind="traffic_burst", op="get",
+                        nclients=6, objects_per_client=3,
+                        mean_gap_ns=30_000.0,
+                        note="post-storm read-back"),
+        ),
+    )
+
+
+#: Overload-control campaigns (separate library: these are meant to run
+#: with ``ServiceConfig.overload`` set, and keeping them out of
+#: :data:`CANNED_CAMPAIGNS` leaves the classic chaos bench scenario —
+#: and its regression-gated history metrics — untouched).
+OVERLOAD_CAMPAIGNS = {
+    "flash_crowd": flash_crowd,
+    "slow_device_tail": slow_device_tail,
+    "retry_storm_overload": retry_storm_overload,
 }

@@ -98,20 +98,23 @@ class CampaignEngine:
         return sorted(puts + gets, key=lambda r: (r.arrival_ns, r.key))
 
     def _burst_traffic(self, action: ChaosAction, index: int) -> list:
-        """Extra wave started by a ``traffic_burst`` action."""
+        """Extra wave started by a ``traffic_burst``/``flash_crowd``
+        action (a flash crowd is just a burst that carries deadlines)."""
         c = self.campaign
         if action.op == "put":
             reqs = put_wave(action.nclients, action.objects_per_client,
                             payload_bytes=action.payload_bytes,
                             mean_gap_ns=action.mean_gap_ns,
                             start_ns=action.at_ns,
-                            seed=c.seed + 100 + index)
+                            seed=c.seed + 100 + index,
+                            deadline_slack_ns=action.deadline_slack_ns)
             # Burst keys live in their own namespace so durability
             # accounting never races a base-traffic overwrite.
             return [replace(r, key=f"burst{index}/{r.key}") for r in reqs]
         return get_wave(action.nclients, action.objects_per_client,
                         mean_gap_ns=action.mean_gap_ns,
-                        start_ns=action.at_ns, seed=c.seed + 100 + index)
+                        start_ns=action.at_ns, seed=c.seed + 100 + index,
+                        deadline_slack_ns=action.deadline_slack_ns)
 
     # -- fault application -------------------------------------------------
 
@@ -144,7 +147,28 @@ class CampaignEngine:
                 start_ns=action.at_ns,
                 end_ns=action.at_ns + action.duration_ns,
                 rate=action.rate))
-        elif action.kind == "traffic_burst":
+        elif action.kind == "retry_storm":
+            # Harsher than transient_storm: the same key keeps failing
+            # (count times), so unbudgeted retry-with-backoff stacks —
+            # the metastable-amplification scenario retry budgets cap.
+            svc.store.add_fault_hook(inj.storm_hook(
+                lambda: svc.clock_ns,
+                start_ns=action.at_ns,
+                end_ns=action.at_ns + action.duration_ns,
+                rate=action.rate,
+                max_failures_per_key=action.count))
+            inj.events.append(FaultEvent(
+                "retry_storm", -1, -1,
+                f"rate={action.rate:.2f} x{action.count}/key "
+                f"for {action.duration_ns / 1e6:.2f}ms"))
+        elif action.kind == "slow_device":
+            svc.set_device_slow(action.device, action.penalty_ns,
+                                until_ns=action.at_ns + action.duration_ns)
+            inj.events.append(FaultEvent(
+                "slow_device", -1, action.device,
+                f"+{action.penalty_ns / 1e6:.2f}ms per read "
+                f"for {action.duration_ns / 1e6:.2f}ms"))
+        elif action.kind in ("traffic_burst", "flash_crowd"):
             index = len(self._bursts)
             self._bursts.append(action)
             burst = self._burst_traffic(action, index)

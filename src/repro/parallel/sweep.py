@@ -22,8 +22,11 @@ merged trace is deterministic too.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.libs.base import UnsupportedWorkload
@@ -154,6 +157,10 @@ class SweepResult:
     workers: int = field(default=1, compare=False)
     wall_s: float = field(default=0.0, compare=False)
     cache_stats: dict | None = field(default=None, compare=False)
+    #: Worker-death / timeout accounting from the hardened executor:
+    #: ``{"pool_restarts", "resubmitted_cells", "timed_out_cells",
+    #: "abandoned_cells"}`` (None for serial / fault-free runs).
+    fault_stats: dict | None = field(default=None, compare=False)
 
     def __getitem__(self, i: int) -> CellResult:
         return self.results[i]
@@ -228,6 +235,7 @@ def _run_cell(index: int, cell: SweepCell) -> CellResult:
 def _exec_cell(payload) -> CellResult:
     """Worker entry: optionally record onto a private tracer."""
     index, cell, want_trace = payload
+    _maybe_poison(index)
     if not want_trace:
         return _run_cell(index, cell)
     tracer = Tracer(f"sweep[{index}]")
@@ -237,8 +245,76 @@ def _exec_cell(payload) -> CellResult:
     return result
 
 
+def _maybe_poison(index: int) -> None:
+    """Worker-death test hook: ``REPRO_SWEEP_POISON=<index>[:<flag>]``
+    hard-kills the worker assigned that cell. With a flag path the kill
+    fires only while the file is absent (it is created first), so the
+    resubmitted attempt survives; without one, every attempt dies —
+    the budget-exhaustion case. Only the fault-tolerance tests set it.
+    """
+    spec = os.environ.get("REPRO_SWEEP_POISON")
+    if not spec:
+        return
+    target, _, flag = spec.partition(":")
+    if index != int(target):
+        return
+    if flag:
+        if os.path.exists(flag):
+            return
+        with open(flag, "w"):
+            pass
+    os._exit(1)
+
+
+def _pool_round(todo: list, workers: int, cell_timeout_s: float | None,
+                stats: dict) -> tuple[dict, list]:
+    """One process-pool round over ``todo`` payloads.
+
+    Returns ``(done, lost)``: results by cell index, plus payloads
+    whose worker died (``BrokenProcessPool``) before finishing — the
+    caller decides whether to resubmit those. Cells that exceed the
+    per-cell timeout are *not* retried (a deterministic cell that hung
+    once will hang again); they come back as error results.
+    """
+    done: dict[int, CellResult] = {}
+    lost: list = []
+    broken = hung = False
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [(p, pool.submit(_exec_cell, p)) for p in todo]
+        for payload, fut in futures:
+            index, cell = payload[0], payload[1]
+            if broken:
+                # The pool already died; salvage whatever finished.
+                if (fut.done() and not fut.cancelled()
+                        and fut.exception() is None):
+                    done[index] = fut.result()
+                else:
+                    lost.append(payload)
+                continue
+            try:
+                done[index] = fut.result(timeout=cell_timeout_s)
+            except FutureTimeout:
+                stats["timed_out_cells"] += 1
+                fut.cancel()
+                hung = True
+                done[index] = CellResult(
+                    index, cell.library, cell.workload, supported=True,
+                    error=f"timeout: cell exceeded {cell_timeout_s:g}s")
+            except BrokenProcessPool:
+                broken = True
+                stats["pool_restarts"] += 1
+                lost.append(payload)
+    finally:
+        # Never block shutdown on a dead pool or a still-hung cell.
+        pool.shutdown(wait=not (broken or hung), cancel_futures=True)
+    return done, lost
+
+
 def run_sweep(spec: SweepSpec, workers: int = 1,
-              cache: ContentCache | bool | None = None) -> SweepResult:
+              cache: ContentCache | bool | None = None, *,
+              cell_timeout_s: float | None = None,
+              max_resubmits: int = 2) -> SweepResult:
     """Run every cell of ``spec``; results are independent of ``workers``.
 
     Parameters
@@ -256,12 +332,21 @@ def run_sweep(spec: SweepSpec, workers: int = 1,
         Cached cells are not re-executed; a warm cache therefore
         changes wall-clock only, never results. Skipped while a tracer
         is recording (a cache hit would silently drop its spans).
+    cell_timeout_s:
+        Per-cell wall-clock bound (parallel runs only). A cell past it
+        comes back as an error result instead of hanging the sweep; it
+        is not retried.
+    max_resubmits:
+        Rounds of resubmission granted to cells lost to a crashed
+        worker (``BrokenProcessPool``). Past the budget the lost cells
+        come back as error results; the sweep itself always completes.
 
     Returns
     -------
     SweepResult
         Per-cell results in grid order plus the aggregate counter
-        fold (folded in grid order — float-sum stable).
+        fold (folded in grid order — float-sum stable). Worker-death
+        and timeout accounting, if any, lands in ``fault_stats``.
     """
     t0 = time.perf_counter()
     cells = spec.cells()
@@ -282,14 +367,36 @@ def run_sweep(spec: SweepSpec, workers: int = 1,
         else:
             pending.append((i, cell))
 
+    fault_stats = None
     if workers <= 1 or len(pending) <= 1:
         for i, cell in pending:
             results[i] = _run_cell(i, cell)
     else:
-        payloads = [(i, cell, tracing) for i, cell in pending]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for result in pool.map(_exec_cell, payloads):
-                results[result.index] = result
+        stats = {"pool_restarts": 0, "resubmitted_cells": 0,
+                 "timed_out_cells": 0, "abandoned_cells": 0}
+        todo = [(i, cell, tracing) for i, cell in pending]
+        attempts = 0
+        while todo:
+            done, lost = _pool_round(todo, workers, cell_timeout_s, stats)
+            for index, result in done.items():
+                results[index] = result
+            if not lost:
+                break
+            if attempts >= max_resubmits:
+                # Budget exhausted: surface the loss, never hang/raise.
+                stats["abandoned_cells"] += len(lost)
+                for payload in lost:
+                    i, cell = payload[0], payload[1]
+                    results[i] = CellResult(
+                        i, cell.library, cell.workload, supported=True,
+                        error=(f"worker died; resubmission budget "
+                               f"({max_resubmits}) exhausted"))
+                break
+            attempts += 1
+            stats["resubmitted_cells"] += len(lost)
+            todo = lost
+        if any(stats.values()):
+            fault_stats = stats
         # Splice worker timelines in deterministic (cell) order.
         if tracing:
             for result in results:
@@ -300,6 +407,12 @@ def run_sweep(spec: SweepSpec, workers: int = 1,
     if use_cache:
         for i, cell in pending:
             cached_copy = results[i]
+            if cached_copy.error is not None and (
+                    cached_copy.error.startswith("timeout:")
+                    or cached_copy.error.startswith("worker died")):
+                # Executor faults are transient — memoizing one would
+                # replay a dead worker forever on warm runs.
+                continue
             cache.put(cell.key(), cached_copy)
 
     merged = Counters()
@@ -312,4 +425,5 @@ def run_sweep(spec: SweepSpec, workers: int = 1,
         workers=workers,
         wall_s=time.perf_counter() - t0,
         cache_stats=cache.stats() if use_cache else None,
+        fault_stats=fault_stats,
     )

@@ -18,6 +18,10 @@ and :mod:`repro.core` modeling sustained multi-client traffic —
 * :class:`~repro.service.metrics.MetricsRegistry` — latency
   percentiles, queue depth, rejections, retries, policy switches;
 * :mod:`repro.service.traffic` — seeded multi-client request streams;
+* :mod:`repro.service.overload` — overload resilience: deadline-aware
+  admission, AIMD adaptive concurrency under the Eq. (1) cap, retry
+  budgets, priority shedding, hedged reads and brownout
+  (:class:`~repro.service.overload.OverloadManager`);
 * :mod:`repro.service.health` / :mod:`repro.service.healing` — the
   self-healing loop: per-device circuit breakers
   (:class:`~repro.service.health.HealthMonitor`), a priority
@@ -34,8 +38,17 @@ from repro.service.health import (
 )
 from repro.service.healing import RepairQueue, ScrubScheduler, SelfHealer
 from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.overload import (
+    BrownoutController,
+    ConcurrencyController,
+    OverloadConfig,
+    OverloadManager,
+    RetryBudget,
+    ShedDecision,
+)
 from repro.service.queue import Batch, BatchKey, RequestQueue, encode_coalesced
 from repro.service.request import (
+    Priority,
     Request,
     RequestKind,
     RequestResult,
@@ -56,10 +69,17 @@ __all__ = [
     "eq1_thread_cap",
     "LatencyHistogram",
     "MetricsRegistry",
+    "BrownoutController",
+    "ConcurrencyController",
+    "OverloadConfig",
+    "OverloadManager",
+    "RetryBudget",
+    "ShedDecision",
     "Batch",
     "BatchKey",
     "RequestQueue",
     "encode_coalesced",
+    "Priority",
     "Request",
     "RequestKind",
     "RequestResult",

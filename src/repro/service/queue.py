@@ -36,6 +36,9 @@ class Batch:
 
     key: BatchKey
     requests: list[Request]
+    #: Simulated instant the dispatcher pulled this batch (queue-wait
+    #: accounting; 0.0 until stamped by the service).
+    dispatched_ns: float = 0.0
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -44,6 +47,13 @@ class Batch:
     def coalesced(self) -> bool:
         """Whether more than one request was merged."""
         return len(self.requests) > 1
+
+    @property
+    def min_deadline_ns(self) -> float:
+        """Tightest deadline across the batch (deadline propagation:
+        the batch as a whole inherits its most urgent member)."""
+        return min((r.deadline_ns for r in self.requests),
+                   default=float("inf"))
 
 
 class RequestQueue:
@@ -73,6 +83,31 @@ class RequestQueue:
         self._items.append((key, request))
         self.peak_depth = max(self.peak_depth, len(self._items))
         return True
+
+    def evict_lower_priority(self, than) -> tuple[BatchKey, Request] | None:
+        """Evict the least-important queued request strictly below
+        priority ``than`` (reverse-priority shedding on a full queue).
+
+        Victim selection: the *lowest* priority class present, and the
+        latest-arrived request within it (it has waited least, so
+        dropping it wastes the least queue time). Returns the evicted
+        ``(key, request)`` entry, or None when nothing queued is below
+        ``than`` — the arrival itself is then the least important.
+        """
+        victim_idx = -1
+        victim_pri = than
+        for idx, (_, req) in enumerate(self._items):
+            pri = req.resolved_priority
+            # Strictly-lower classes only; ties go to the later arrival
+            # (>= keeps scanning to the newest of the worst class).
+            if pri > victim_pri or (victim_idx >= 0 and pri == victim_pri):
+                victim_idx = idx
+                victim_pri = max(victim_pri, pri)
+        if victim_idx < 0:
+            return None
+        entry = self._items[victim_idx]
+        del self._items[victim_idx]
+        return entry
 
     def pop_batch(self, max_batch: int = 8) -> Batch | None:
         """Dequeue the head request plus up to ``max_batch - 1`` later

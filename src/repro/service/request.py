@@ -9,6 +9,7 @@ with latency accounting. Both are plain data — the event loop in
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 
@@ -20,12 +21,36 @@ class RequestKind(str, enum.Enum):
     ENCODE = "encode"    # raw encode job of `stripes` full stripes
 
 
+class Priority(enum.IntEnum):
+    """Service priority class (lower value = more important).
+
+    Under overload the service sheds in strict *reverse*-priority
+    order: BACKGROUND work goes first, NORMAL writes next, FOREGROUND
+    reads last — the graceful-degradation ladder of
+    :mod:`repro.service.overload`.
+    """
+
+    FOREGROUND = 0   # interactive reads
+    NORMAL = 1       # writes
+    BACKGROUND = 2   # bulk encode / repair-adjacent work
+
+    @staticmethod
+    def default_for(kind: "RequestKind") -> "Priority":
+        """Default class per operation kind (reads > writes > bulk)."""
+        if kind is RequestKind.GET:
+            return Priority.FOREGROUND
+        if kind is RequestKind.PUT:
+            return Priority.NORMAL
+        return Priority.BACKGROUND
+
+
 class RequestStatus(str, enum.Enum):
     """Final disposition of a request."""
 
     COMPLETED = "completed"
     REJECTED = "rejected"    # admission controller turned it away
     FAILED = "failed"        # retries exhausted / unrecoverable
+    SHED = "shed"            # overload control dropped it (fail-fast)
 
 
 @dataclass(frozen=True)
@@ -46,6 +71,15 @@ class Request:
         Object bytes for ``put``.
     stripes:
         Volume of an ``encode`` job, in full stripes.
+    deadline_ns:
+        Absolute simulated instant by which the client needs the
+        answer; ``inf`` (the default) means "no deadline". The
+        overload layer sheds requests that cannot meet their deadline
+        at *enqueue* time instead of letting them time out after
+        consuming decode work.
+    priority:
+        Service class; ``None`` derives the default from ``kind``
+        (reads > writes > bulk encode) via :meth:`Priority.default_for`.
     """
 
     kind: RequestKind
@@ -54,24 +88,40 @@ class Request:
     arrival_ns: float = 0.0
     payload: bytes = b""
     stripes: int = 1
+    deadline_ns: float = math.inf
+    priority: Priority | None = None
+
+    @property
+    def resolved_priority(self) -> Priority:
+        """The effective priority class (explicit or kind-derived)."""
+        if self.priority is not None:
+            return Priority(self.priority)
+        return Priority.default_for(self.kind)
 
     @staticmethod
     def put(key: str, payload: bytes, *, client: int = 0,
-            arrival_ns: float = 0.0) -> "Request":
+            arrival_ns: float = 0.0, deadline_ns: float = math.inf,
+            priority: Priority | None = None) -> "Request":
         """Convenience constructor for a PUT."""
-        return Request(RequestKind.PUT, key, client, arrival_ns, payload)
+        return Request(RequestKind.PUT, key, client, arrival_ns, payload,
+                       deadline_ns=deadline_ns, priority=priority)
 
     @staticmethod
-    def get(key: str, *, client: int = 0, arrival_ns: float = 0.0) -> "Request":
+    def get(key: str, *, client: int = 0, arrival_ns: float = 0.0,
+            deadline_ns: float = math.inf,
+            priority: Priority | None = None) -> "Request":
         """Convenience constructor for a GET."""
-        return Request(RequestKind.GET, key, client, arrival_ns)
+        return Request(RequestKind.GET, key, client, arrival_ns,
+                       deadline_ns=deadline_ns, priority=priority)
 
     @staticmethod
     def encode(stripes: int = 1, *, client: int = 0,
-               arrival_ns: float = 0.0) -> "Request":
+               arrival_ns: float = 0.0, deadline_ns: float = math.inf,
+               priority: Priority | None = None) -> "Request":
         """Convenience constructor for a raw encode job."""
         return Request(RequestKind.ENCODE, "", client, arrival_ns,
-                       b"", stripes)
+                       b"", stripes, deadline_ns=deadline_ns,
+                       priority=priority)
 
 
 @dataclass

@@ -31,11 +31,12 @@ from dataclasses import dataclass, field
 
 from repro.core.dialga import DialgaConfig, DialgaEncoder
 from repro.libs.base import CodingLibrary, GeometryMismatch
-from repro.obs import get_tracer
+from repro.obs import get_tracer, use_tracer
 from repro.pmstore.faults import TransientFault
 from repro.pmstore.store import PMStore
 from repro.service.admission import AdmissionController
 from repro.service.metrics import MetricsRegistry
+from repro.service.overload import OverloadConfig, OverloadManager
 from repro.service.queue import BatchKey, Batch, RequestQueue
 from repro.service.request import Request, RequestKind, RequestResult, RequestStatus
 from repro.service.retry import RetryPolicy
@@ -69,6 +70,11 @@ class ServiceConfig:
         before serving it. Off by default — it trades read cost for
         the guarantee that silent corruption can never reach a client;
         the chaos engine turns it on.
+    overload:
+        Optional :class:`~repro.service.overload.OverloadConfig`
+        enabling deadline-aware admission, AIMD concurrency, retry
+        budgets, hedged reads and brownout. ``None`` (the default)
+        keeps the pre-overload behavior bit-for-bit.
     """
 
     threads_per_job: int = 1
@@ -78,6 +84,7 @@ class ServiceConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     base_latency_ns: float = 2_000.0
     verify_reads: bool = False
+    overload: OverloadConfig | None = None
 
 
 class ErasureCodingService:
@@ -122,6 +129,19 @@ class ErasureCodingService:
         self.admission = AdmissionController(k, m, self.hw.pm,
                                              d_max=self.config.d_max)
         self.metrics = MetricsRegistry()
+        #: Overload-control layer (None unless ``config.overload`` is
+        #: set — the hot path stays byte-identical without it).
+        self.overload: OverloadManager | None = None
+        if self.config.overload is not None:
+            self.overload = OverloadManager(
+                self.config.overload,
+                capacity_threads=self.admission.capacity_threads,
+                base_latency_ns=self.config.base_latency_ns)
+        #: Devices currently serving slowly: device -> (penalty_ns,
+        #: until_ns). Reads touching one pay the penalty unless the
+        #: brownout / hedging paths route around it.
+        self.slow_devices: dict[int, tuple[float, float]] = {}
+        self._hedge_decode_memo: float | None = None
         #: Optional :class:`~repro.service.healing.SelfHealer` run in
         #: the event loop's idle gaps (see :meth:`attach_healer`).
         self.healer = None
@@ -153,6 +173,29 @@ class ErasureCodingService:
         """Submit an iterable of requests."""
         for req in requests:
             self.submit(req)
+
+    def set_device_slow(self, device: int, penalty_ns: float,
+                        until_ns: float = math.inf) -> None:
+        """Mark ``device`` as slow: reads touching it pay ``penalty_ns``
+        until the simulated clock passes ``until_ns`` (chaos's
+        ``slow_device`` action; the hedging/brownout paths exist to
+        route around exactly this)."""
+        if penalty_ns < 0:
+            raise ValueError("penalty_ns must be >= 0")
+        self.slow_devices[device] = (float(penalty_ns), float(until_ns))
+        self.metrics.inc("slow_device_marks")
+
+    def clear_device_slow(self, device: int) -> None:
+        """Forget a slow-device mark (restored to full speed)."""
+        self.slow_devices.pop(device, None)
+
+    def _slow_penalty_ns(self) -> float:
+        """Worst active slow-device penalty on a *data* device now."""
+        worst = 0.0
+        for dev, (penalty, until) in self.slow_devices.items():
+            if dev < self.k and self.clock_ns < until:
+                worst = max(worst, penalty)
+        return worst
 
     def attach_healer(self, healer) -> None:
         """Attach a :class:`~repro.service.healing.SelfHealer`: from now
@@ -199,9 +242,7 @@ class ErasureCodingService:
                 req = pending[i]
                 i += 1
                 self.clock_ns = max(self.clock_ns, req.arrival_ns)
-                rejected = self._on_arrival(req)
-                if rejected is not None:
-                    out.append(rejected)
+                out.extend(self._on_arrival(req))
             else:
                 finish, _, batch, threads, results = heapq.heappop(active)
                 self.clock_ns = max(self.clock_ns, finish)
@@ -211,6 +252,10 @@ class ErasureCodingService:
                     self.metrics.observe_latency(res.request.kind.value,
                                                  res.latency_ns)
                     self.metrics.inc("completed" if res.ok else "failed")
+                    if res.ok and finish > res.request.deadline_ns:
+                        # Admission let it through but the estimate was
+                        # optimistic — completed late, still served.
+                        self.metrics.inc("deadline_misses")
                     span = self._req_spans.pop(id(res.request), None)
                     if span is not None:
                         span.end(self._ts(finish), status=res.status.value,
@@ -219,7 +264,9 @@ class ErasureCodingService:
                                  degraded=res.degraded,
                                  batch_size=res.batch_size)
                 out.extend(results)
-            self._dispatch(active)
+                if self.overload is not None:
+                    self._overload_observe(batch, finish)
+            self._dispatch(active, out)
         self.results.extend(out)
         return out
 
@@ -228,8 +275,32 @@ class ErasureCodingService:
     def _batch_key(self, request: Request) -> BatchKey:
         return BatchKey(request.kind, self.k, self.m, self.block_bytes)
 
-    def _on_arrival(self, request: Request) -> RequestResult | None:
-        """Queue an arrival; returns a REJECTED result when shed."""
+    def _shed(self, request: Request, reason: str, detail: str,
+              at_ns: float) -> RequestResult:
+        """Drop one request under overload control (fail-fast)."""
+        self.metrics.inc("shed_total")
+        self.metrics.inc(f"shed_{reason}")
+        tracer = get_tracer()
+        span = self._req_spans.pop(id(request), None)
+        if tracer.enabled:
+            tracer.event("overload.shed", self._ts(at_ns), span=span,
+                         reason=reason, kind=request.kind.value,
+                         key=request.key,
+                         priority=request.resolved_priority.name.lower())
+        if span is not None:
+            span.end(self._ts(at_ns), status="shed", reason=reason)
+        return RequestResult(request, RequestStatus.SHED,
+                             error=f"shed ({reason}): {detail}")
+
+    def _on_arrival(self, request: Request) -> list[RequestResult]:
+        """Queue an arrival; returns any requests shed/rejected by it.
+
+        Without overload control the only possible casualty is the
+        arrival itself (REJECTED on a full queue). With it, the
+        arrival may be shed fail-fast (infeasible deadline, brownout
+        background shedding) or a *lower-priority queued* request may
+        be evicted in its place — strict reverse-priority shedding.
+        """
         self.metrics.inc("requests")
         self.metrics.sample_queue_depth(self.queue.depth)
         tracer = get_tracer()
@@ -247,7 +318,36 @@ class ErasureCodingService:
             span.event("service.enqueue", self._ts(request.arrival_ns),
                        queue_depth=self.queue.depth)
             self._req_spans[id(request)] = span
+        if self.overload is not None:
+            decision = self.overload.admit(
+                request, self.clock_ns,
+                queue_depth=self.queue.depth,
+                max_batch=self.config.max_batch,
+                active_threads=self.admission.active_threads,
+                threads_per_job=self.config.threads_per_job)
+            if decision is not None:
+                return [self._shed(request, decision.reason,
+                                   decision.detail, request.arrival_ns)]
         if not self.queue.push(self._batch_key(request), request):
+            if self.overload is not None:
+                # Reverse-priority shedding: evict the least-important
+                # queued request strictly below this arrival's class.
+                entry = self.queue.evict_lower_priority(
+                    request.resolved_priority)
+                if entry is not None:
+                    _, victim = entry
+                    shed = self._shed(
+                        victim, "priority",
+                        f"evicted for {request.resolved_priority.name} "
+                        f"arrival", request.arrival_ns)
+                    self.queue.push(self._batch_key(request), request)
+                    return [shed]
+                # Nothing below it queued: the arrival is the least
+                # important thing in the building — it is the shed.
+                return [self._shed(
+                    request, "priority",
+                    f"queue full at {self.queue.max_depth}, no "
+                    f"lower-priority victim", request.arrival_ns)]
             # Dispatch invariant: the queue only backs up while the
             # admission controller is at the Eq. (1) cap, so a full
             # queue here IS the cap overflowing onto the client.
@@ -257,19 +357,69 @@ class ErasureCodingService:
             if span is not None:
                 self._req_spans.pop(id(request), None)
                 span.end(self._ts(request.arrival_ns), status="rejected")
-            return RequestResult(
+            return [RequestResult(
                 request, RequestStatus.REJECTED,
                 error=(f"Eq. (1) cap: {self.admission.active_threads}/"
                        f"{self.admission.capacity_threads} threads busy, "
-                       f"queue full at {self.queue.max_depth}"))
-        return None
+                       f"queue full at {self.queue.max_depth}"))]
+        return []
 
-    def _dispatch(self, active: list) -> None:
-        """Launch coalesced batches while the Eq. (1) budget allows."""
+    def _overload_observe(self, batch: Batch, finish_ns: float) -> None:
+        """Feed one batch completion to the overload controllers."""
+        mgr = self.overload
+        latency = finish_ns - batch.dispatched_ns
+        mgr.observe_batch(latency)
+        saturated = mgr.pressure_observation(
+            queue_depth=self.queue.depth,
+            max_queue_depth=self.queue.max_depth,
+            batch_latency_ns=latency)
+        transition = mgr.brownout.observe(saturated, finish_ns)
+        if transition is not None:
+            self.metrics.inc(f"brownout_{transition}s")
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(f"overload.brownout_{transition}",
+                             self._ts(finish_ns),
+                             queue_depth=self.queue.depth,
+                             concurrency_limit=mgr.concurrency.limit,
+                             ewma_batch_ns=round(mgr.ewma_batch_ns, 1))
+
+    def _dispatch(self, active: list, out: list) -> None:
+        """Launch coalesced batches while the Eq. (1) budget allows.
+
+        With overload control the AIMD limit gates dispatch *under* the
+        Eq. (1) cap, and requests whose deadline already passed while
+        queued are dropped here instead of occupying an encode job
+        (deadline propagation into batches).
+        """
         threads = self.config.threads_per_job
         tracer = get_tracer()
-        while len(self.queue) and self.admission.try_admit(threads):
+        while len(self.queue):
+            if (self.overload is not None
+                    and self.admission.active_threads + threads
+                    > self.overload.concurrency.limit):
+                break
+            if not self.admission.try_admit(threads):
+                break
             batch = self.queue.pop_batch(self.config.max_batch)
+            if self.overload is not None:
+                batch.dispatched_ns = self.clock_ns
+                live = []
+                for req in batch.requests:
+                    if req.deadline_ns < self.clock_ns:
+                        self.metrics.inc("deadline_expired_queued")
+                        out.append(self._shed(
+                            req, "deadline",
+                            f"expired in queue ({self.clock_ns:.0f}ns > "
+                            f"{req.deadline_ns:.0f}ns)", self.clock_ns))
+                    else:
+                        self.metrics.observe_latency(
+                            "queue_wait", self.clock_ns - req.arrival_ns)
+                        live.append(req)
+                if not live:
+                    self.admission.release(threads)
+                    continue
+                batch.requests = live
             self.metrics.inc("batches")
             if batch.coalesced:
                 self.metrics.inc("coalesced_requests", len(batch) - 1)
@@ -314,6 +464,10 @@ class ErasureCodingService:
         while True:
             try:
                 value = op()
+                if self.overload is not None:
+                    # Successful traffic refills the retry budget —
+                    # retries stay a bounded *fraction* of goodput.
+                    self.overload.retry_budget.on_success()
                 result = RequestResult(request, RequestStatus.COMPLETED,
                                        retries=retries,
                                        value=value if isinstance(value, bytes) else b"")
@@ -329,6 +483,19 @@ class ErasureCodingService:
                 if retries + 1 >= policy.max_attempts:
                     return RequestResult(request, RequestStatus.FAILED,
                                          retries=retries, error=str(exc)), delay
+                if (self.overload is not None
+                        and self.overload.config.retry_budget_enabled
+                        and not self.overload.retry_budget.try_spend()):
+                    # Budget dry: fail fast instead of amplifying a
+                    # correlated-fault window into a retry storm.
+                    self.metrics.inc("retry_budget_denied")
+                    if span is not None:
+                        span.event("service.retry_denied",
+                                   self._ts(self.clock_ns + delay),
+                                   attempt=retries + 1)
+                    return RequestResult(
+                        request, RequestStatus.FAILED, retries=retries,
+                        error=f"retry budget exhausted: {exc}"), delay
                 retries += 1
                 self.metrics.inc("retries")
                 delay += policy.delay_ns(retries, token=token)
@@ -421,8 +588,61 @@ class ErasureCodingService:
                                          for r in batch.requests))
         return self.clock_ns + base + delay + transfer + makespan, results
 
+    def _hedge_decode_cost_ns(self) -> float:
+        """Memoized single-stripe decode estimate for hedge accounting.
+
+        Computed once under a silenced tracer (the estimate is an
+        accounting device, not a real simulated job — same pattern as
+        ``SelfHealer._decode_cost_ns``).
+        """
+        if self._hedge_decode_memo is None:
+            wl = Workload(k=self.k, m=self.m, block_bytes=self.block_bytes,
+                          nthreads=1,
+                          data_bytes_per_thread=self.k * self.block_bytes,
+                          op="decode", erasures=1)
+            with use_tracer(None):
+                self._hedge_decode_memo = self.library.run(
+                    wl, self.hw).sim.makespan_ns
+        return self._hedge_decode_memo
+
+    def _slow_read_extra_ns(self, penalty_ns: float) -> tuple[float, bool, bool]:
+        """Extra per-read cost under an active slow device.
+
+        Returns ``(extra_ns, served_degraded, charge_decode)`` —
+        ``charge_decode`` asks the caller to add the read to the
+        batch's coalesced decode (the hedge path instead bakes its own
+        decode estimate into ``extra_ns``). Three regimes:
+
+        * brownout active → proactively reconstruct through parity,
+          skipping the slow device entirely;
+        * hedging enabled → primary waits ``hedge_delay``; if still
+          stalled, a degraded-path hedge races it. The cheaper path
+          wins and the loser is cancelled;
+        * neither → eat the full penalty.
+        """
+        mgr = self.overload
+        if mgr is not None and mgr.brownout.active:
+            self.metrics.inc("brownout_degraded_reads")
+            return 0.0, True, True
+        if mgr is not None and mgr.config.hedge_enabled:
+            hedge_delay = mgr.hedge_delay_ns(
+                self.metrics.latency.get("get"))
+            if penalty_ns <= hedge_delay:
+                # Primary answered before the hedge timer fired.
+                self.metrics.inc("hedges_cancelled")
+                return penalty_ns, False, False
+            self.metrics.inc("hedges_issued")
+            hedge_cost = hedge_delay + self._hedge_decode_cost_ns()
+            if hedge_cost < penalty_ns:
+                self.metrics.inc("hedges_won")
+                return hedge_cost, True, False
+            self.metrics.inc("hedges_lost")
+            return penalty_ns, False, False
+        return penalty_ns, False, False
+
     def _execute_gets(self, batch: Batch, base: float) -> tuple[float, list[RequestResult]]:
         results, delay, nbytes, degraded_stripes = [], 0.0, 0, 0
+        slow_penalty = self._slow_penalty_ns()
         for req in batch.requests:
             degraded = (req.key in self.store.keys()
                         and self.store.is_degraded(req.key))
@@ -434,6 +654,15 @@ class ErasureCodingService:
                 self.metrics.inc("degraded_reads")
                 if self.healer is not None:
                     self.healer.on_degraded_read(req.key, self.clock_ns)
+            if slow_penalty > 0.0 and result.ok and not result.degraded:
+                extra, hedged, charge = self._slow_read_extra_ns(slow_penalty)
+                req_delay += extra
+                if hedged:
+                    # Served through parity reconstruction around the
+                    # slow device — degraded from the client's view.
+                    result.degraded = True
+                if charge:
+                    degraded_stripes += 1
             results.append(result)
             delay += req_delay
             nbytes += len(result.value)

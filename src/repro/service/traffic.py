@@ -9,9 +9,11 @@ traffic-replay demo rely on.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from repro.service.request import Request
+from repro.service.request import Priority, Request
 
 
 def client_key(client: int, i: int) -> str:
@@ -21,12 +23,16 @@ def client_key(client: int, i: int) -> str:
 
 def put_wave(nclients: int, objects_per_client: int = 2, *,
              payload_bytes: int = 1024, mean_gap_ns: float = 5_000.0,
-             start_ns: float = 0.0, seed: int = 0) -> list[Request]:
+             start_ns: float = 0.0, seed: int = 0,
+             deadline_slack_ns: float = math.inf,
+             priority: Priority | None = None) -> list[Request]:
     """A near-simultaneous burst of puts from every client.
 
     Arrival jitter is exponential with mean ``mean_gap_ns`` so bursts
     overlap heavily — the regime where the Eq. (1) admission cap and
-    the queue actually engage.
+    the queue actually engage. ``deadline_slack_ns`` gives every
+    request an absolute deadline of ``arrival + slack`` (``inf`` =
+    no deadline); ``priority`` overrides the kind-derived class.
     """
     rng = np.random.default_rng(seed)
     out = []
@@ -36,14 +42,17 @@ def put_wave(nclients: int, objects_per_client: int = 2, *,
             payload = rng.integers(0, 256, payload_bytes,
                                    dtype=np.uint8).tobytes()
             out.append(Request.put(client_key(c, i), payload, client=c,
-                                   arrival_ns=t))
+                                   arrival_ns=t,
+                                   deadline_ns=t + deadline_slack_ns,
+                                   priority=priority))
             t += float(rng.exponential(mean_gap_ns))
     return sorted(out, key=lambda r: r.arrival_ns)
 
 
 def get_wave(nclients: int, objects_per_client: int = 2, *,
              mean_gap_ns: float = 5_000.0, start_ns: float = 0.0,
-             seed: int = 1) -> list[Request]:
+             seed: int = 1, deadline_slack_ns: float = math.inf,
+             priority: Priority | None = None) -> list[Request]:
     """Every client reading its own objects back (keys from
     :func:`put_wave` with the same shape arguments)."""
     rng = np.random.default_rng(seed)
@@ -51,6 +60,8 @@ def get_wave(nclients: int, objects_per_client: int = 2, *,
     for c in range(nclients):
         t = start_ns + float(rng.exponential(mean_gap_ns))
         for i in range(objects_per_client):
-            out.append(Request.get(client_key(c, i), client=c, arrival_ns=t))
+            out.append(Request.get(client_key(c, i), client=c, arrival_ns=t,
+                                   deadline_ns=t + deadline_slack_ns,
+                                   priority=priority))
             t += float(rng.exponential(mean_gap_ns))
     return sorted(out, key=lambda r: r.arrival_ns)
