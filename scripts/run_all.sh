@@ -73,6 +73,30 @@ python scripts/check_trace.py overload_trace.json \
     --require overload.brownout_enter \
     --require overload.brownout_exit
 
+echo "== fastforward smoke job (exact steady-state skip, >=5x speedup) =="
+# The scenario's own shape checks gate the contract (non-zero exit on
+# failure): fast-forwarded runs byte-identical to the interpreter on
+# every workload, >= 5x wall-clock on the long fig10-style encode,
+# graceful full-interpretation fallback on the aperiodic update trace.
+# Wall-clock columns legitimately vary between reruns, so the rerun
+# diff compares the deterministic projection: check verdicts (stripped
+# of timing details) and the simulated skip/jump counts.
+python -m repro.bench fastforward --seed 0 --out ff_run_a \
+    --trace ff_trace.json
+python -m repro.bench fastforward --seed 0 --out ff_run_b --no-history
+for d in ff_run_a ff_run_b; do
+    sed -E -n 's/ \[[^]]*\]$//; /\[(PASS|FAIL)\]/p' \
+        "$d/fastforward_scenario.txt" > "$d/verdicts.txt"
+    grep -E "^(encode_|decode_|update_)" "$d/fastforward_scenario.txt" \
+        | awk '{print $1, $5, $6, $7, $8}' > "$d/periods.txt"
+done
+diff ff_run_a/verdicts.txt ff_run_b/verdicts.txt
+diff ff_run_a/periods.txt ff_run_b/periods.txt
+grep -q "\[PASS\] long encode fast-forward speedup" \
+    ff_run_a/fastforward_scenario.txt
+python scripts/check_trace.py ff_trace.json \
+    --require sim.fastforward
+
 echo "== chaos smoke job (seeded campaign, durability audit must be clean) =="
 # A short seeded chaos campaign must end with zero acknowledged-write
 # loss; the scenario's own shape checks fail the run otherwise (exit 1).

@@ -18,6 +18,7 @@ def _experiments() -> dict:
     from repro.bench.audit_scenario import ALL_AUDIT_SCENARIOS
     from repro.bench.chaos_scenario import ALL_CHAOS_SCENARIOS
     from repro.bench.crash_scenario import ALL_CRASH_SCENARIOS
+    from repro.bench.fastforward_scenario import ALL_FASTFORWARD_SCENARIOS
     from repro.bench.figures import ALL_FIGURES
     from repro.bench.overload_scenario import ALL_OVERLOAD_SCENARIOS
     from repro.bench.service_scenario import ALL_SCENARIOS
@@ -28,6 +29,7 @@ def _experiments() -> dict:
     out.update(ALL_CRASH_SCENARIOS)
     out.update(ALL_AUDIT_SCENARIOS)
     out.update(ALL_OVERLOAD_SCENARIOS)
+    out.update(ALL_FASTFORWARD_SCENARIOS)
     return out
 
 
@@ -73,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
                              "decision and service request span, then write "
                              "a Chrome trace_event JSON (or a JSONL span "
                              "log if the path ends in .jsonl)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each experiment and print the "
+                             "top-20 cumulative hotspots (with --out, "
+                             "also dump <id>.prof for snakeviz/pstats)")
     parser.add_argument("--no-history", action="store_true",
                         help="skip appending this run to the benchmark "
                              "history ledger (BENCH_history.jsonl or "
@@ -111,7 +117,16 @@ def main(argv: list[str] | None = None) -> int:
             mark = (tracer.begin(f"bench.{name}", tracer.max_ts,
                                  detached=True, track="bench")
                     if tracer is not None else None)
-            result = _run_experiment(table[name], args.volume, args.seed)
+            profiler = None
+            if args.profile:
+                import cProfile
+                profiler = cProfile.Profile()
+                profiler.enable()
+            try:
+                result = _run_experiment(table[name], args.volume, args.seed)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
             if mark is not None:
                 mark.end(tracer.max_ts)
             if not args.no_history:
@@ -130,6 +145,14 @@ def main(argv: list[str] | None = None) -> int:
                 text += "\n\n" + ascii_chart(result)
             print(text)
             print(f"  ({time.time() - t0:.1f}s)\n")
+            if profiler is not None:
+                import io
+                import pstats
+                buf = io.StringIO()
+                stats = pstats.Stats(profiler, stream=buf)
+                stats.sort_stats("cumulative").print_stats(20)
+                print(f"-- profile: {name} (top 20 by cumulative) --")
+                print(buf.getvalue())
             if args.out is not None:
                 args.out.mkdir(parents=True, exist_ok=True)
                 (args.out / f"{result.fig_id}.txt").write_text(text + "\n")
@@ -137,6 +160,8 @@ def main(argv: list[str] | None = None) -> int:
                     import json
                     (args.out / f"{result.fig_id}.json").write_text(
                         json.dumps(result.to_dict(), indent=2) + "\n")
+                if profiler is not None:
+                    profiler.dump_stats(args.out / f"{result.fig_id}.prof")
             if not result.all_passed:
                 failed += 1
     finally:

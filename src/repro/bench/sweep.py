@@ -119,7 +119,9 @@ def render_report(report: dict) -> str:
         f"  serial cold     {report['serial_s']:8.3f} s",
         f"  parallel cold   {report['parallel_s']:8.3f} s   "
         f"(workers={report['workers']}, {report['cpus']} cpu(s), "
-        f"{report['speedup_parallel']}x)",
+        f"{report['speedup_parallel']}x"
+        + (", informational: single CPU)" if (report["cpus"] or 0) < 2
+           else ")"),
         f"  warm cache      {report['warm_s']:8.3f} s   "
         f"({report['speedup_warm']}x)",
         f"  serial == parallel: "
@@ -162,17 +164,24 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.no_history:
         from repro.obs.regress import BenchHistory
-        BenchHistory().append(
-            f"sweep:{args.grid}",
-            {"serial_s": report["serial_s"],
-             "parallel_s": report["parallel_s"],
-             "warm_s": report["warm_s"],
-             "speedup_parallel": report["speedup_parallel"],
-             "speedup_warm": report["speedup_warm"]},
-            meta={"cells": report["grid"]["cells"],
-                  "workers": report["workers"],
-                  "cpus": report["cpus"],
-                  "result_digest": report["result_digest"]})
+        metrics = {"serial_s": report["serial_s"],
+                   "warm_s": report["warm_s"],
+                   "speedup_warm": report["speedup_warm"]}
+        meta = {"cells": report["grid"]["cells"],
+                "workers": report["workers"],
+                "cpus": report["cpus"],
+                "result_digest": report["result_digest"]}
+        if (report["cpus"] or 0) >= 2:
+            metrics["parallel_s"] = report["parallel_s"]
+            metrics["speedup_parallel"] = report["speedup_parallel"]
+        else:
+            # A 1-CPU runner makes the pool pure overhead; record the
+            # numbers as context, not as gated perf metrics (the
+            # regression gate also skips *parallel* metrics when the
+            # entry's meta says cpus < 2 — belt and braces).
+            meta["parallel_s"] = report["parallel_s"]
+            meta["speedup_parallel"] = report["speedup_parallel"]
+        BenchHistory().append(f"sweep:{args.grid}", metrics, meta=meta)
 
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)

@@ -150,6 +150,10 @@ class RegressionReport:
     compared: int = 0
     #: Runs whose latest entry had no predecessors to compare against.
     unseeded: list[str] = field(default_factory=list)
+    #: (run, metric, reason) tuples excluded from gating — e.g.
+    #: parallel-speedup metrics recorded on a single-CPU runner, where
+    #: a process pool is pure overhead and 0.99x is not a regression.
+    skipped: list[tuple[str, str, str]] = field(default_factory=list)
 
     @property
     def failures(self) -> list[RegressionFlag]:
@@ -170,6 +174,8 @@ class RegressionReport:
         for f in self.flags:
             mark = "FAIL" if f.severity == "fail" else "warn"
             lines.append(f"  [{mark}] {f.describe()}")
+        for run, metric, reason in self.skipped:
+            lines.append(f"  [info] {run}: {metric} not gated — {reason}")
         for run in self.unseeded:
             lines.append(f"  [info] {run}: first recorded entry — baseline "
                          "seeded, nothing to compare yet")
@@ -207,9 +213,19 @@ def detect_regressions(history: BenchHistory | str | pathlib.Path | None = None,
         if not prior:
             report.unseeded.append(run)
             continue
+        meta = latest.get("meta") or {}
+        cpus = meta.get("cpus")
+        single_cpu = isinstance(cpus, int) and cpus < 2
         for metric, value in sorted(latest.get("metrics", {}).items()):
             direction = metric_direction(metric)
             if direction is None or not isinstance(value, (int, float)):
+                continue
+            if single_cpu and "parallel" in metric.lower():
+                # Pool speedup on a 1-CPU runner measures scheduler
+                # overhead, not the code — never a regression signal.
+                report.skipped.append(
+                    (run, metric,
+                     f"single-CPU runner (meta cpus={cpus})"))
                 continue
             baseline_values = [
                 e["metrics"][metric] for e in prior

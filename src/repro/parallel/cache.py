@@ -41,7 +41,9 @@ from repro.trace.ops import Trace
 
 #: Bump when the canonical encoding (or anything simulated meaning)
 #: changes incompatibly; invalidates every existing key.
-CACHE_VERSION = "v1"
+#: v2: SimResult grew the ``fastforward`` stats field and sim keys
+#: carry the fastforward flag.
+CACHE_VERSION = "v2"
 
 
 # -- fingerprinting ------------------------------------------------------
@@ -88,11 +90,18 @@ def trace_fingerprint(trace: Trace) -> str:
     return hashlib.sha256(trace.content_key()).hexdigest()
 
 
-def sim_key(traces, hw, batch_ops: int = 1) -> str:
-    """Cache key for ``simulate(traces, hw, batch_ops)``."""
+def sim_key(traces, hw, batch_ops: int = 1,
+            fastforward: bool = False) -> str:
+    """Cache key for ``simulate(traces, hw, batch_ops, fastforward)``.
+
+    Fast-forwarded results are byte-identical to interpreted ones, but
+    the flag is keyed anyway: the cache must never be the mechanism
+    that papers over an extrapolation bug, and the attached
+    ``SimResult.fastforward`` stats differ between the two paths.
+    """
     h = hashlib.sha256()
     h.update(f"sim:{CACHE_VERSION}:{fingerprint(hw)}:{batch_ops}:"
-             f"{len(traces)}".encode())
+             f"{int(fastforward)}:{len(traces)}".encode())
     for t in traces:
         h.update(t.content_key())
     return h.hexdigest()
@@ -186,11 +195,13 @@ class SimCache:
     def __init__(self, store: ContentCache):
         self.store = store
 
-    def simulate(self, traces, hw, batch_ops: int = 1):
-        key = sim_key(traces, hw, batch_ops)
+    def simulate(self, traces, hw, batch_ops: int = 1,
+                 fastforward: bool = False):
+        key = sim_key(traces, hw, batch_ops, fastforward)
         res = self.store.get(key)
         if res is None:
-            res = _simulate_raw(traces, hw, batch_ops=batch_ops)
+            res = _simulate_raw(traces, hw, batch_ops=batch_ops,
+                                fastforward=fastforward)
             self.store.put(key, res)
         return res
 

@@ -30,6 +30,7 @@ from repro.simulator.streamprefetcher import StreamPrefetcher
 from repro.simulator.readbuffer import PMReadBuffer
 from repro.simulator.memory import DRAMBackend, PMBackend
 from repro.simulator.engine import ThreadContext, run_single
+from repro.simulator.fastforward import run_fastforward
 from repro.simulator.multicore import SimResult
 from repro.simulator.api import simulate
 from repro.simulator.presets import PRESETS, get_preset
@@ -50,6 +51,7 @@ __all__ = [
     "PMBackend",
     "ThreadContext",
     "run_single",
+    "run_fastforward",
     "simulate",
     "SimResult",
     "PRESETS",

@@ -40,7 +40,8 @@ def simulate(trace, hardware: HardwareConfig | None = None, *,
              tracer=None,
              batch_ops: int = 1,
              contexts=None,
-             drain: bool = True) -> SimResult:
+             drain: bool = True,
+             fastforward: bool | None = None) -> SimResult:
     """Simulate one or more traces against a hardware configuration.
 
     Parameters
@@ -72,6 +73,14 @@ def simulate(trace, hardware: HardwareConfig | None = None, *,
     drain:
         Flush core caches at the end (pass False for intermediate
         chunks of a longer run).
+    fastforward:
+        Skip steady-state stripe periods by exact extrapolation
+        (:mod:`repro.simulator.fastforward`); results are byte-
+        identical to plain interpretation, just faster on long
+        periodic traces. Default (None) enables it exactly for
+        single-thread runs on fresh contexts — under multicore
+        contention the shared backends couple the threads and the
+        per-thread periodicity dissolves, so it is off there.
 
     Returns
     -------
@@ -99,17 +108,24 @@ def simulate(trace, hardware: HardwareConfig | None = None, *,
                 f"threads={threads} but {len(traces)} traces given")
     if not traces and contexts is None:
         raise ValueError("need at least one trace (or live contexts)")
+    if fastforward is None:
+        fastforward = len(traces) == 1 and contexts is None
 
     if tracer is not None:
         with use_tracer(tracer):
-            return _dispatch(traces, hardware, batch_ops, contexts, drain)
-    return _dispatch(traces, hardware, batch_ops, contexts, drain)
+            return _dispatch(traces, hardware, batch_ops, contexts, drain,
+                             fastforward)
+    return _dispatch(traces, hardware, batch_ops, contexts, drain,
+                     fastforward)
 
 
-def _dispatch(traces, hardware, batch_ops, contexts, drain) -> SimResult:
+def _dispatch(traces, hardware, batch_ops, contexts, drain,
+              fastforward) -> SimResult:
     cache = _SIM_CACHE
     if (cache is not None and contexts is None and drain
             and not get_tracer().enabled):
-        return cache.simulate(traces, hardware, batch_ops)
+        return cache.simulate(traces, hardware, batch_ops,
+                              fastforward=fastforward)
     return _simulate_raw(traces, hardware, batch_ops=batch_ops,
-                         contexts=contexts, drain=drain)
+                         contexts=contexts, drain=drain,
+                         fastforward=fastforward)

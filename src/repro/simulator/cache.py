@@ -85,3 +85,40 @@ class CoreCache:
         while self._lines:
             _, ent = self._lines.popitem(last=False)
             self._account_eviction(ent)
+
+    # -- fast-forward hooks ------------------------------------------------
+
+    def state_digest(self, now_ns: float,
+                     addr_shift: int) -> tuple[tuple, float]:
+        """Shift-invariant digest of the resident set.
+
+        Entries are reported in LRU order with addresses rebased by
+        ``addr_shift`` and arrivals as offsets from ``now_ns``.
+        Arrivals already in the past are *settled*: every consumer
+        compares them against future times, so their exact value is
+        behaviorally dead and digests as ``None`` (their clock-relative
+        offset changes every period, which would otherwise block
+        convergence forever). Returns ``(digest, max_live_offset_ns)``.
+        """
+        out = [
+            (addr - addr_shift, ent.source, ent.used, ent.promo_ns,
+             ent.arrival_ns - now_ns if ent.arrival_ns > now_ns else None)
+            for addr, ent in self._lines.items()
+        ]
+        max_live = max((t[4] for t in out if t[4] is not None), default=0.0)
+        return tuple(out), max_live
+
+    def relabel(self, addr_shift: int, time_shift: float,
+                now_ns: float) -> None:
+        """Translate the resident set by one fast-forward jump.
+
+        Keys shift by ``addr_shift``; in-flight arrivals (later than
+        the pre-jump clock ``now_ns``) shift by ``time_shift``; settled
+        arrivals keep their (dead) values. LRU order is preserved.
+        """
+        shifted: OrderedDict[int, _Line] = OrderedDict()
+        for addr, ent in self._lines.items():
+            if ent.arrival_ns > now_ns:
+                ent.arrival_ns += time_shift
+            shifted[addr + addr_shift] = ent
+        self._lines = shifted

@@ -169,27 +169,33 @@ class ThreadContext:
         self.pc += n
         return n
 
-    def run(self) -> float:
-        """Execute the entire trace; returns the finish time (ns).
+    def run(self, until: int | None = None) -> float:
+        """Execute the trace (to ``until``, if given); returns the clock.
 
         Fast path: the per-op arithmetic of :meth:`step` *and* of the
         memory-model callees (backend fills, read buffer, streamer
         training, cache insertion) inlined into one loop with all hot
-        state in locals — one Python frame for the whole trace instead
-        of five per op. Bit-identical to stepping by construction: the
-        same floating-point operations in the same order, which the
-        determinism tests assert. Falls back to :meth:`step` when the
-        backends are not the stock PM/DRAM models (the inlining
-        hard-codes their arithmetic).
+        state — counters included — in locals, one Python frame for the
+        whole trace instead of five per op. Bit-identical to stepping
+        by construction: the same floating-point operations in the same
+        order, which the determinism tests assert. Falls back to
+        :meth:`step` when the backends are not the stock PM/DRAM models
+        (the inlining hard-codes their arithmetic).
+
+        ``until`` is an absolute op index bound (clamped to the trace
+        length): the fast-forward layer interprets period-by-period by
+        chunking through here, which composes bit-identically with one
+        full run because all hot state is written back at every return.
         """
         n = len(self.trace.opcodes)
-        if self.pc >= n:
+        end = n if until is None else min(until, n)
+        if self.pc >= end:
             return self.clock
         load_backend = self.load_backend
         store_backend = self.store_backend
         if (type(load_backend) not in (PMBackend, DRAMBackend)
                 or type(store_backend) not in (PMBackend, DRAMBackend)):
-            self.step(n - self.pc)
+            self.step(end - self.pc)
             return self.clock
         opcodes = self.trace.opcodes
         args = self.trace.args
@@ -258,274 +264,332 @@ class ThreadContext:
         write_pipe = store_backend.write_pipe
         write_step = 64 * write_pipe.ns_per_byte
 
+        # Counter fields hoisted into locals — slot access still pays
+        # an attribute lookup per bump that a local avoids. All are
+        # written back in the ``finally`` below, so chunked calls (the
+        # fast-forward layer runs period-by-period via ``until``) see
+        # consistent state at every boundary. Same adds in the same
+        # order: bit-identical to bumping the attributes directly.
+        c_loads = c.loads
+        c_load_cache_hits = c.load_cache_hits
+        c_load_late_prefetch = c.load_late_prefetch
+        c_load_misses = c.load_misses
+        c_stores = c.stores
+        c_load_stall_ns = c.load_stall_ns
+        c_store_stall_ns = c.store_stall_ns
+        c_compute_ns = c.compute_ns
+        c_hwpf_issued = c.hwpf_issued
+        c_hwpf_useful = c.hwpf_useful
+        c_hwpf_useless = c.hwpf_useless
+        c_streams_allocated = c.streams_allocated
+        c_streams_evicted_untrained = c.streams_evicted_untrained
+        c_swpf_issued = c.swpf_issued
+        c_swpf_late = c.swpf_late
+        c_swpf_useless = c.swpf_useless
+        c_app_read_bytes = c.app_read_bytes
+        c_ctrl_read_bytes = c.ctrl_read_bytes
+        c_media_read_bytes = c.media_read_bytes
+        c_write_bytes = c.write_bytes
+        c_buffer_hits = c.buffer_hits
+        c_buffer_misses = c.buffer_misses
+        c_buffer_evictions = c.buffer_evictions
+        c_buffer_evictions_unused = c.buffer_evictions_unused
+
         clock = self.clock
-        while i < n:
-            op = opcodes[i]
-            arg = args[i]
-            i += 1
-            if op == LOAD:
-                c.loads += 1
-                c.app_read_bytes += 64
-                now = clock + load_issue_ns
-                line = int(arg) & ~63
-                ent = cache_get(line)
-                if ent is not None:
-                    cache_mte(line)
-                    ent.used = True
-                    if ent.arrival_ns <= now:
-                        c.load_cache_hits += 1
-                        if ent.source == HWPF:
-                            c.hwpf_useful += 1
-                        now += hit_ns
-                    else:
-                        wait = min(ent.arrival_ns - now, ent.promo_ns)
-                        c.load_late_prefetch += 1
-                        c.load_stall_ns += wait
-                        if ent.source == SWPF_SRC:
-                            c.swpf_late += 1
-                        elif ent.source == HWPF:
-                            c.hwpf_useless += 1
-                        now += wait + hit_ns
-                else:
-                    # Demand fill (inlined backend).
-                    c.ctrl_read_bytes += 64
-                    if pm_load:
-                        start = ctrl_pipe.free_at
-                        if start < now:
-                            start = now
-                        ctrl_pipe.free_at = start + ctrl_step
-                        qd = start - now
-                        xp = line // xpline_bytes
-                        if xp in rb_entries:
-                            rb_entries[xp] += 1
-                            rb_mte(xp)
-                            c.buffer_hits += 1
-                            stall = qd + buffer_hit_ns / mlp
+        try:
+            while i < end:
+                op = opcodes[i]
+                arg = args[i]
+                i += 1
+                if op == LOAD:
+                    c_loads += 1
+                    c_app_read_bytes += 64
+                    now = clock + load_issue_ns
+                    line = int(arg) & ~63
+                    ent = cache_get(line)
+                    if ent is not None:
+                        cache_mte(line)
+                        ent.used = True
+                        if ent.arrival_ns <= now:
+                            c_load_cache_hits += 1
+                            if ent.source == HWPF:
+                                c_hwpf_useful += 1
+                            now += hit_ns
                         else:
-                            c.buffer_misses += 1
-                            t = now + qd
-                            mstart = media_pipe.free_at
-                            if mstart < t:
-                                mstart = t
-                            media_pipe.free_at = mstart + media_step
-                            c.media_read_bytes += xpline_bytes
-                            if len(rb_entries) >= rb_cap:
-                                _, used = rb_pop(last=False)
-                                c.buffer_evictions += 1
-                                if used <= 1:
-                                    c.buffer_evictions_unused += 1
-                            rb_entries[xp] = 1
-                            stall = qd + (mstart - t) + media_ns / mlp
+                            wait = min(ent.arrival_ns - now, ent.promo_ns)
+                            c_load_late_prefetch += 1
+                            c_load_stall_ns += wait
+                            if ent.source == SWPF_SRC:
+                                c_swpf_late += 1
+                            elif ent.source == HWPF:
+                                c_hwpf_useless += 1
+                            now += wait + hit_ns
                     else:
-                        start = read_pipe.free_at
-                        if start < now:
-                            start = now
-                        read_pipe.free_at = start + read_step
-                        stall = (start - now) + dram_ns / mlp
-                    c.load_misses += 1
-                    c.load_stall_ns += stall
-                    now += stall + hit_ns
-                    # Insert (line was absent — cache_get returned None).
-                    if len(lines) >= cache_cap:
-                        _, ev = cache_pop(last=False)
-                        if not ev.used:
-                            if ev.source == HWPF:
-                                c.hwpf_useless += 1
-                            elif ev.source == SWPF_SRC:
-                                c.swpf_useless += 1
-                    lines[line] = _Line(now, DEMAND, True, 0.0)
-                clock = now
-                if not pf_enabled:
+                        # Demand fill (inlined backend).
+                        c_ctrl_read_bytes += 64
+                        if pm_load:
+                            start = ctrl_pipe.free_at
+                            if start < now:
+                                start = now
+                            ctrl_pipe.free_at = start + ctrl_step
+                            qd = start - now
+                            xp = line // xpline_bytes
+                            if xp in rb_entries:
+                                rb_entries[xp] += 1
+                                rb_mte(xp)
+                                c_buffer_hits += 1
+                                stall = qd + buffer_hit_ns / mlp
+                            else:
+                                c_buffer_misses += 1
+                                t = now + qd
+                                mstart = media_pipe.free_at
+                                if mstart < t:
+                                    mstart = t
+                                media_pipe.free_at = mstart + media_step
+                                c_media_read_bytes += xpline_bytes
+                                if len(rb_entries) >= rb_cap:
+                                    _, used = rb_pop(last=False)
+                                    c_buffer_evictions += 1
+                                    if used <= 1:
+                                        c_buffer_evictions_unused += 1
+                                rb_entries[xp] = 1
+                                stall = qd + (mstart - t) + media_ns / mlp
+                        else:
+                            start = read_pipe.free_at
+                            if start < now:
+                                start = now
+                            read_pipe.free_at = start + read_step
+                            stall = (start - now) + dram_ns / mlp
+                        c_load_misses += 1
+                        c_load_stall_ns += stall
+                        now += stall + hit_ns
+                        # Insert (line was absent — cache_get returned
+                        # None).
+                        if len(lines) >= cache_cap:
+                            _, ev = cache_pop(last=False)
+                            if not ev.used:
+                                if ev.source == HWPF:
+                                    c_hwpf_useless += 1
+                                elif ev.source == SWPF_SRC:
+                                    c_swpf_useless += 1
+                        lines[line] = _Line(now, DEMAND, True, 0.0)
+                    clock = now
+                    if not pf_enabled:
+                        continue
+                elif op == COMPUTE:
+                    ns = arg * ns_per_cycle * simd_factor
+                    c_compute_ns += ns
+                    clock += ns
                     continue
-            elif op == COMPUTE:
-                ns = arg * ns_per_cycle * simd_factor
-                c.compute_ns += ns
-                clock += ns
-                continue
-            elif op == STORE:
-                c.stores += 1
-                now = clock + store_issue_ns
-                c.write_bytes += 64
-                start = write_pipe.free_at
-                if start < now:
-                    start = now
-                free_at = start + write_step
-                write_pipe.free_at = free_at
-                backlog = free_at - now
-                if backlog > wpq_ns:
-                    stall = backlog - wpq_ns
-                    c.store_stall_ns += stall
-                    now += stall
-                clock = now
-                continue
-            elif op == SWPF:
-                c.swpf_issued += 1
-                now = clock + swpf_issue_ns
-                line = int(arg) & ~63
-                ent = cache_get(line)
-                if ent is None:
-                    # Prefetch-priority fill (inlined backend).
-                    c.ctrl_read_bytes += 64
+                elif op == STORE:
+                    c_stores += 1
+                    now = clock + store_issue_ns
+                    c_write_bytes += 64
+                    start = write_pipe.free_at
+                    if start < now:
+                        start = now
+                    free_at = start + write_step
+                    write_pipe.free_at = free_at
+                    backlog = free_at - now
+                    if backlog > wpq_ns:
+                        stall = backlog - wpq_ns
+                        c_store_stall_ns += stall
+                        now += stall
+                    clock = now
+                    continue
+                elif op == SWPF:
+                    c_swpf_issued += 1
+                    now = clock + swpf_issue_ns
+                    line = int(arg) & ~63
+                    ent = cache_get(line)
+                    if ent is None:
+                        # Prefetch-priority fill (inlined backend).
+                        c_ctrl_read_bytes += 64
+                        if pm_load:
+                            start = ctrl_pipe.free_at
+                            if start < now:
+                                start = now
+                            ctrl_pipe.free_at = start + ctrl_step
+                            qd = start - now
+                            xp = line // xpline_bytes
+                            if xp in rb_entries:
+                                rb_entries[xp] += 1
+                                rb_mte(xp)
+                                c_buffer_hits += 1
+                                arrival = now + qd + buffer_hit_ns
+                                promo = buffer_hit_ns / mlp
+                            else:
+                                c_buffer_misses += 1
+                                t = now + qd
+                                mstart = media_pipe.free_at
+                                if mstart < t:
+                                    mstart = t
+                                media_pipe.free_at = mstart + media_step
+                                c_media_read_bytes += xpline_bytes
+                                if len(rb_entries) >= rb_cap:
+                                    _, used = rb_pop(last=False)
+                                    c_buffer_evictions += 1
+                                    if used <= 1:
+                                        c_buffer_evictions_unused += 1
+                                rb_entries[xp] = 1
+                                arrival = now + (qd + (mstart - t)) + media_pf_ns
+                                promo = media_ns / mlp
+                        else:
+                            start = read_pipe.free_at
+                            if start < now:
+                                start = now
+                            read_pipe.free_at = start + read_step
+                            arrival = now + (start - now) + dram_ns
+                            promo = dram_ns / mlp
+                        if len(lines) >= cache_cap:
+                            _, ev = cache_pop(last=False)
+                            if not ev.used:
+                                if ev.source == HWPF:
+                                    c_hwpf_useless += 1
+                                elif ev.source == SWPF_SRC:
+                                    c_swpf_useless += 1
+                        lines[line] = _Line(arrival, SWPF_SRC, False, promo)
+                    else:
+                        cache_mte(line)
+                    clock = now
+                    if not (swpf_trains and pf_enabled):
+                        continue
+                elif op == FENCE:
+                    free_at = write_pipe.free_at
+                    if free_at > clock:
+                        clock = free_at
+                    continue
+                else:  # pragma: no cover - defensive
+                    i -= 1
+                    raise ValueError(f"unknown opcode {op}")
+
+                # Streamer training + hardware-prefetch issue (inlined
+                # ``StreamPrefetcher.on_access``); reached after LOAD,
+                # and after SWPF when software prefetches train the
+                # streamer.
+                page = line // pf_page_bytes
+                pline = (line % pf_page_bytes) // 64
+                stream = table_get(page)
+                if stream is None:
+                    if len(table) >= pf_max_streams:
+                        _, evicted = table_pop(last=False)
+                        if evicted.confidence < pf_train:
+                            c_streams_evicted_untrained += 1
+                    table[page] = _Stream(pline, 0, pline)
+                    c_streams_allocated += 1
+                    continue
+                table_mte(page)
+                last = stream.last_line
+                if pline == last + 1 or pline == last + 2:
+                    stream.confidence += 1
+                    stream.last_line = pline
+                elif pline <= last:
+                    pass
+                else:
+                    conf = stream.confidence - 2
+                    stream.confidence = conf if conf > 0 else 0
+                    stream.last_line = pline
+                    continue
+                conf = stream.confidence
+                if conf < pf_train:
+                    continue
+                distance = (conf - pf_train) // pf_ramp + 1
+                if distance > pf_max_dist:
+                    distance = pf_max_dist
+                target = pline + distance
+                if target > pf_last_line:
+                    target = pf_last_line
+                first = stream.max_prefetched + 1
+                if first <= pline:
+                    first = pline + 1
+                if first > target:
+                    continue
+                stream.max_prefetched = target
+                c_hwpf_issued += target - first + 1
+                base = page * pf_page_bytes
+                for l in range(first, target + 1):
+                    tgt = base + l * 64
+                    # Prefetch-priority fill (inlined backend) + insert.
+                    c_ctrl_read_bytes += 64
                     if pm_load:
                         start = ctrl_pipe.free_at
-                        if start < now:
-                            start = now
+                        if start < clock:
+                            start = clock
                         ctrl_pipe.free_at = start + ctrl_step
-                        qd = start - now
-                        xp = line // xpline_bytes
+                        qd = start - clock
+                        xp = tgt // xpline_bytes
                         if xp in rb_entries:
                             rb_entries[xp] += 1
                             rb_mte(xp)
-                            c.buffer_hits += 1
-                            arrival = now + qd + buffer_hit_ns
+                            c_buffer_hits += 1
+                            arrival = clock + qd + buffer_hit_ns
                             promo = buffer_hit_ns / mlp
                         else:
-                            c.buffer_misses += 1
-                            t = now + qd
+                            c_buffer_misses += 1
+                            t = clock + qd
                             mstart = media_pipe.free_at
                             if mstart < t:
                                 mstart = t
                             media_pipe.free_at = mstart + media_step
-                            c.media_read_bytes += xpline_bytes
+                            c_media_read_bytes += xpline_bytes
                             if len(rb_entries) >= rb_cap:
                                 _, used = rb_pop(last=False)
-                                c.buffer_evictions += 1
+                                c_buffer_evictions += 1
                                 if used <= 1:
-                                    c.buffer_evictions_unused += 1
+                                    c_buffer_evictions_unused += 1
                             rb_entries[xp] = 1
-                            arrival = now + (qd + (mstart - t)) + media_pf_ns
+                            arrival = clock + (qd + (mstart - t)) + media_pf_ns
                             promo = media_ns / mlp
                     else:
                         start = read_pipe.free_at
-                        if start < now:
-                            start = now
+                        if start < clock:
+                            start = clock
                         read_pipe.free_at = start + read_step
-                        arrival = now + (start - now) + dram_ns
+                        arrival = clock + (start - clock) + dram_ns
                         promo = dram_ns / mlp
-                    if len(lines) >= cache_cap:
-                        _, ev = cache_pop(last=False)
-                        if not ev.used:
-                            if ev.source == HWPF:
-                                c.hwpf_useless += 1
-                            elif ev.source == SWPF_SRC:
-                                c.swpf_useless += 1
-                    lines[line] = _Line(arrival, SWPF_SRC, False, promo)
-                else:
-                    cache_mte(line)
-                clock = now
-                if not (swpf_trains and pf_enabled):
-                    continue
-            elif op == FENCE:
-                free_at = write_pipe.free_at
-                if free_at > clock:
-                    clock = free_at
-                continue
-            else:  # pragma: no cover - defensive
-                self.pc = i - 1
-                self.clock = clock
-                raise ValueError(f"unknown opcode {op}")
-
-            # Streamer training + hardware-prefetch issue (inlined
-            # ``StreamPrefetcher.on_access``); reached after LOAD, and
-            # after SWPF when software prefetches train the streamer.
-            page = line // pf_page_bytes
-            pline = (line % pf_page_bytes) // 64
-            stream = table_get(page)
-            if stream is None:
-                if len(table) >= pf_max_streams:
-                    _, evicted = table_pop(last=False)
-                    if evicted.confidence < pf_train:
-                        c.streams_evicted_untrained += 1
-                table[page] = _Stream(pline, 0, pline)
-                c.streams_allocated += 1
-                continue
-            table_mte(page)
-            last = stream.last_line
-            if pline == last + 1 or pline == last + 2:
-                stream.confidence += 1
-                stream.last_line = pline
-            elif pline <= last:
-                pass
-            else:
-                conf = stream.confidence - 2
-                stream.confidence = conf if conf > 0 else 0
-                stream.last_line = pline
-                continue
-            conf = stream.confidence
-            if conf < pf_train:
-                continue
-            distance = (conf - pf_train) // pf_ramp + 1
-            if distance > pf_max_dist:
-                distance = pf_max_dist
-            target = pline + distance
-            if target > pf_last_line:
-                target = pf_last_line
-            first = stream.max_prefetched + 1
-            if first <= pline:
-                first = pline + 1
-            if first > target:
-                continue
-            stream.max_prefetched = target
-            c.hwpf_issued += target - first + 1
-            base = page * pf_page_bytes
-            for l in range(first, target + 1):
-                tgt = base + l * 64
-                # Prefetch-priority fill (inlined backend) + insert.
-                c.ctrl_read_bytes += 64
-                if pm_load:
-                    start = ctrl_pipe.free_at
-                    if start < clock:
-                        start = clock
-                    ctrl_pipe.free_at = start + ctrl_step
-                    qd = start - clock
-                    xp = tgt // xpline_bytes
-                    if xp in rb_entries:
-                        rb_entries[xp] += 1
-                        rb_mte(xp)
-                        c.buffer_hits += 1
-                        arrival = clock + qd + buffer_hit_ns
-                        promo = buffer_hit_ns / mlp
+                    ent = cache_get(tgt)
+                    if ent is not None:
+                        if arrival < ent.arrival_ns:
+                            ent.arrival_ns = arrival
+                        ent.promo_ns = (min(ent.promo_ns, promo)
+                                        if ent.promo_ns else promo)
+                        cache_mte(tgt)
                     else:
-                        c.buffer_misses += 1
-                        t = clock + qd
-                        mstart = media_pipe.free_at
-                        if mstart < t:
-                            mstart = t
-                        media_pipe.free_at = mstart + media_step
-                        c.media_read_bytes += xpline_bytes
-                        if len(rb_entries) >= rb_cap:
-                            _, used = rb_pop(last=False)
-                            c.buffer_evictions += 1
-                            if used <= 1:
-                                c.buffer_evictions_unused += 1
-                        rb_entries[xp] = 1
-                        arrival = clock + (qd + (mstart - t)) + media_pf_ns
-                        promo = media_ns / mlp
-                else:
-                    start = read_pipe.free_at
-                    if start < clock:
-                        start = clock
-                    read_pipe.free_at = start + read_step
-                    arrival = clock + (start - clock) + dram_ns
-                    promo = dram_ns / mlp
-                ent = cache_get(tgt)
-                if ent is not None:
-                    if arrival < ent.arrival_ns:
-                        ent.arrival_ns = arrival
-                    ent.promo_ns = (min(ent.promo_ns, promo)
-                                    if ent.promo_ns else promo)
-                    cache_mte(tgt)
-                else:
-                    if len(lines) >= cache_cap:
-                        _, ev = cache_pop(last=False)
-                        if not ev.used:
-                            if ev.source == HWPF:
-                                c.hwpf_useless += 1
-                            elif ev.source == SWPF_SRC:
-                                c.swpf_useless += 1
-                    lines[tgt] = _Line(arrival, HWPF, False, promo)
-        self.pc = n
-        self.clock = clock
+                        if len(lines) >= cache_cap:
+                            _, ev = cache_pop(last=False)
+                            if not ev.used:
+                                if ev.source == HWPF:
+                                    c_hwpf_useless += 1
+                                elif ev.source == SWPF_SRC:
+                                    c_swpf_useless += 1
+                        lines[tgt] = _Line(arrival, HWPF, False, promo)
+        finally:
+            self.pc = i
+            self.clock = clock
+            c.loads = c_loads
+            c.load_cache_hits = c_load_cache_hits
+            c.load_late_prefetch = c_load_late_prefetch
+            c.load_misses = c_load_misses
+            c.stores = c_stores
+            c.load_stall_ns = c_load_stall_ns
+            c.store_stall_ns = c_store_stall_ns
+            c.compute_ns = c_compute_ns
+            c.hwpf_issued = c_hwpf_issued
+            c.hwpf_useful = c_hwpf_useful
+            c.hwpf_useless = c_hwpf_useless
+            c.streams_allocated = c_streams_allocated
+            c.streams_evicted_untrained = c_streams_evicted_untrained
+            c.swpf_issued = c_swpf_issued
+            c.swpf_late = c_swpf_late
+            c.swpf_useless = c_swpf_useless
+            c.app_read_bytes = c_app_read_bytes
+            c.ctrl_read_bytes = c_ctrl_read_bytes
+            c.media_read_bytes = c_media_read_bytes
+            c.write_bytes = c_write_bytes
+            c.buffer_hits = c_buffer_hits
+            c.buffer_misses = c_buffer_misses
+            c.buffer_evictions = c_buffer_evictions
+            c.buffer_evictions_unused = c_buffer_evictions_unused
         return clock
 
 

@@ -37,6 +37,22 @@ class _Pipe:
         self.free_at = start + nbytes * self.ns_per_byte
         return start - now
 
+    # -- fast-forward hooks ------------------------------------------------
+
+    def rel_free(self, now: float) -> float | None:
+        """Backlog relative to ``now``, or None when already drained.
+
+        A ``free_at`` in the past is behaviorally dead — every acquire
+        clamps it up to ``now`` — so it digests as a sentinel instead
+        of a clock-relative offset that would never converge.
+        """
+        return self.free_at - now if self.free_at > now else None
+
+    def shift(self, time_shift: float, now: float) -> None:
+        """Translate a live backlog by one fast-forward jump."""
+        if self.free_at > now:
+            self.free_at += time_shift
+
 
 class DRAMBackend:
     """Flat-latency DRAM with read/write bandwidth pipes."""
@@ -67,6 +83,10 @@ class DRAMBackend:
     def drain_writes(self, now: float) -> float:
         """Time at which all posted writes are durable (for FENCE)."""
         return max(now, self.write_pipe.free_at)
+
+    def pipes(self) -> tuple[_Pipe, ...]:
+        """All bandwidth pipes (for fast-forward digest/relabel)."""
+        return (self.read_pipe, self.write_pipe)
 
 
 class PMBackend:
@@ -111,3 +131,7 @@ class PMBackend:
     def drain_writes(self, now: float) -> float:
         """Time at which the write queue is drained (for FENCE)."""
         return max(now, self.write_pipe.free_at)
+
+    def pipes(self) -> tuple[_Pipe, ...]:
+        """All bandwidth pipes (for fast-forward digest/relabel)."""
+        return (self.ctrl_pipe, self.media_pipe, self.write_pipe)

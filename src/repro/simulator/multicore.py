@@ -12,7 +12,7 @@ scalability plateaus of Fig. 7/13 come from.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.obs import get_tracer
 from repro.simulator.counters import Counters
@@ -43,6 +43,12 @@ class SimResult:
     thread_times_ns: list[float]
     counters: Counters
     data_bytes: int = 0
+    #: Steady-state fast-forward stats (``engaged``, ``periods_skipped``,
+    #: ...) when the run went through :mod:`repro.simulator.fastforward`;
+    #: None otherwise. Excluded from equality: fast-forwarded results
+    #: are byte-identical to interpreted ones and must compare equal.
+    fastforward: dict | None = field(default=None, compare=False,
+                                     repr=False)
 
     @property
     def throughput_gbps(self) -> float:
@@ -73,7 +79,8 @@ def make_backends(hw: HardwareConfig, counters: Counters):
 def simulate(traces: list[Trace], hw: HardwareConfig,
              batch_ops: int = 1,
              contexts: list[ThreadContext] | None = None,
-             drain: bool = True) -> SimResult:
+             drain: bool = True,
+             fastforward: bool = False) -> SimResult:
     """Run one trace per thread against a shared memory system.
 
     Parameters
@@ -95,6 +102,12 @@ def simulate(traces: list[Trace], hw: HardwareConfig,
         Flush core caches at the end, accounting still-resident unused
         prefetches as useless. Pass False for intermediate chunks of a
         longer run (the caches stay warm across re-entries).
+    fastforward:
+        Skip steady-state stripe periods by exact extrapolation (see
+        :mod:`repro.simulator.fastforward`). Only takes effect when a
+        single thread is live — multicore contention couples threads
+        through the shared backends. Results are byte-identical either
+        way; the stats land on ``SimResult.fastforward``.
     """
     if not traces and not contexts:
         raise ValueError("need at least one trace")
@@ -109,13 +122,13 @@ def simulate(traces: list[Trace], hw: HardwareConfig,
         counters = contexts[0].counters
     tracer = get_tracer()
     if not tracer.enabled:
-        return _run(contexts, counters, batch_ops, drain)
+        return _run(contexts, counters, batch_ops, drain, fastforward)
     t0 = min(ctx.clock for ctx in contexts)
     before = counters.snapshot()
     with tracer.sequenced(t0):
         span = tracer.begin("sim.run", t0, threads=len(contexts),
                             drain=drain)
-        result = _run(contexts, counters, batch_ops, drain)
+        result = _run(contexts, counters, batch_ops, drain, fastforward)
         tracer.end(span, result.makespan_ns,
                    data_bytes=result.data_bytes,
                    **counters.delta(before).nonzero_dict("d_"))
@@ -123,16 +136,23 @@ def simulate(traces: list[Trace], hw: HardwareConfig,
 
 
 def _run(contexts: list[ThreadContext], counters: Counters,
-         batch_ops: int, drain: bool) -> SimResult:
+         batch_ops: int, drain: bool,
+         fastforward: bool = False) -> SimResult:
     """The scheduling loop proper (tracing handled by the caller)."""
+    ff_stats = None
     heap: list[tuple[float, int]] = [
         (ctx.clock, i) for i, ctx in enumerate(contexts) if not ctx.done
     ]
     if len(heap) == 1:
         # One live thread: no cross-thread interleaving to arbitrate,
         # so take the engine's inlined fast path (bit-identical to
-        # stepping — same operations, same order).
-        contexts[heap[0][1]].run()
+        # stepping — same operations, same order), optionally skipping
+        # steady-state stripe periods by exact extrapolation.
+        if fastforward:
+            from repro.simulator.fastforward import run_fastforward
+            ff_stats = run_fastforward(contexts[heap[0][1]])
+        else:
+            contexts[heap[0][1]].run()
         heap = []
     heapq.heapify(heap)
     while heap:
@@ -151,4 +171,5 @@ def _run(contexts: list[ThreadContext], counters: Counters,
         thread_times_ns=times,
         counters=counters,
         data_bytes=data,
+        fastforward=ff_stats,
     )

@@ -76,3 +76,22 @@ class PMReadBuffer:
 
     def __contains__(self, addr: int) -> bool:
         return self.xpline_of(addr) in self._entries
+
+    # -- fast-forward hooks ------------------------------------------------
+
+    def state_digest(self, addr_shift: int) -> tuple:
+        """Shift-invariant digest of the buffer (LRU order).
+
+        ``addr_shift`` must be a multiple of the XPLine size.
+        """
+        xp_shift = addr_shift // self.xpline_bytes
+        return tuple((xp - xp_shift, used)
+                     for xp, used in self._entries.items())
+
+    def relabel(self, addr_shift: int) -> None:
+        """Translate every resident XPLine by ``addr_shift`` bytes."""
+        xp_shift = addr_shift // self.xpline_bytes
+        if not xp_shift:
+            return
+        self._entries = OrderedDict(
+            (xp + xp_shift, used) for xp, used in self._entries.items())

@@ -52,6 +52,28 @@ class StreamPrefetcher:
         """Current stream-table occupancy."""
         return len(self._table)
 
+    # -- fast-forward hooks ------------------------------------------------
+
+    def state_digest(self, addr_shift: int) -> tuple:
+        """Shift-invariant digest of the stream table (LRU order).
+
+        ``addr_shift`` must be a multiple of the page size; pages are
+        rebased by the page shift, everything else is page-relative
+        already (line indices, confidence).
+        """
+        page_shift = addr_shift // self.config.page_bytes
+        return tuple(
+            (page - page_shift, s.last_line, s.confidence, s.max_prefetched)
+            for page, s in self._table.items())
+
+    def relabel(self, addr_shift: int) -> None:
+        """Translate every tracked stream by ``addr_shift`` bytes."""
+        page_shift = addr_shift // self.config.page_bytes
+        if not page_shift:
+            return
+        self._table = OrderedDict(
+            (page + page_shift, s) for page, s in self._table.items())
+
     def on_access(self, addr: int) -> list[int]:
         """Observe a demand (or software-prefetch) access.
 

@@ -16,6 +16,7 @@ from repro.trace.isal_gen import isal_trace, IsalVariant
 from repro.trace.xor_gen import xor_schedule_trace, xor_decomposed_trace
 from repro.trace.validate import validate_isal_trace, TraceStats, TraceValidationError
 from repro.trace.update_gen import update_trace
+from repro.trace.period import detect_period, TracePeriod
 
 __all__ = [
     "LOAD", "STORE", "SWPF", "COMPUTE", "FENCE",
@@ -30,4 +31,6 @@ __all__ = [
     "TraceStats",
     "TraceValidationError",
     "update_trace",
+    "detect_period",
+    "TracePeriod",
 ]

@@ -1,0 +1,156 @@
+"""Stripe-period detection over a trace's parallel arrays.
+
+EC traces are overwhelmingly *stripe-periodic*: the same
+load/compute/store kernel repeats once per stripe with every address
+shifted by a constant stride (the stripe's footprint in the block
+layout). :func:`detect_period` recovers that structure with pure array
+arithmetic — no per-op Python — so the simulator's fast-forward path
+(:mod:`repro.simulator.fastforward`) can skip steady-state stripes by
+exact extrapolation.
+
+Detection is anchored on FENCE ops (every generated stripe ends in
+one): the candidate period length is the distance between the first
+two fences, and the periodic prefix is the longest run of period-sized
+rows whose opcodes repeat verbatim and whose arguments advance by one
+constant per-column delta — zero on non-address columns (COMPUTE
+cycles, FENCE), a single shared positive stride on address columns
+(LOAD/STORE/SWPF). Anything else (update traces, fault perturbations,
+mid-trace schedule switches) yields ``None`` or a short prefix, and the
+fast-forward layer falls back to plain interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.ops import LOAD, STORE, SWPF, FENCE, Trace
+
+__all__ = ["TracePeriod", "detect_period"]
+
+#: Address columns carry byte addresses; everything else must repeat
+#: with a zero delta.
+_ADDR_OPS = (LOAD, STORE, SWPF)
+
+
+@dataclass(frozen=True)
+class TracePeriod:
+    """A detected periodic region of a trace.
+
+    Attributes
+    ----------
+    start:
+        Op index where the first period begins.
+    period_ops:
+        Ops per period (one stripe's kernel, fence included).
+    periods:
+        Number of complete periods starting at ``start``.
+    stride:
+        Constant per-period byte shift of every address argument.
+    """
+
+    start: int
+    period_ops: int
+    periods: int
+    stride: int
+
+    @property
+    def end(self) -> int:
+        """Op index one past the last complete period."""
+        return self.start + self.periods * self.period_ops
+
+    def boundary(self, index: int) -> int:
+        """Op index of the ``index``-th period boundary (0 = start)."""
+        return self.start + index * self.period_ops
+
+
+def _leading_true(mask: np.ndarray) -> int:
+    """Length of the leading all-True run of a boolean vector."""
+    if mask.size == 0:
+        return 0
+    if mask.all():
+        return int(mask.size)
+    return int(np.argmin(mask))
+
+
+def _try_period(opc: np.ndarray, args: np.ndarray, start: int,
+                period: int, min_periods: int) -> TracePeriod | None:
+    """Validate a candidate (start, period); returns the longest fit."""
+    n = opc.size
+    avail = (n - start) // period
+    if avail < min_periods:
+        return None
+    region_o = opc[start:start + avail * period].reshape(avail, period)
+    region_a = args[start:start + avail * period].reshape(avail, period)
+    # Longest prefix of rows whose opcodes repeat the first row verbatim.
+    ok_op = (region_o == region_o[0]).all(axis=1)
+    rows = _leading_true(ok_op)
+    if rows < min_periods:
+        return None
+    # Longest prefix whose per-row argument delta stays constant.
+    deltas = region_a[1:rows] - region_a[:rows - 1]
+    if deltas.shape[0] == 0:
+        return None
+    ok_delta = (deltas == deltas[0]).all(axis=1)
+    rows = 1 + _leading_true(ok_delta)
+    if rows < min_periods:
+        return None
+    # The delta row must be pure translation: zero off the address
+    # columns, one shared non-negative integer stride on them.
+    delta = deltas[0]
+    addr_cols = np.isin(region_o[0], _ADDR_OPS)
+    if delta[~addr_cols].any():
+        return None
+    addr_deltas = delta[addr_cols]
+    if addr_deltas.size == 0:
+        stride = 0.0
+    else:
+        stride = float(addr_deltas[0])
+        if (addr_deltas != stride).any():
+            return None
+    if stride < 0 or stride != int(stride):
+        return None
+    return TracePeriod(start=start, period_ops=period, periods=rows,
+                       stride=int(stride))
+
+
+def detect_period(trace: Trace, start_pc: int = 0,
+                  min_periods: int = 4) -> TracePeriod | None:
+    """Find the dominant stripe period of ``trace`` from ``start_pc``.
+
+    Parameters
+    ----------
+    trace:
+        The op stream to analyse.
+    start_pc:
+        First op considered (a resumed context's program counter).
+    min_periods:
+        Minimum complete periods required to report a detection —
+        below that there is nothing worth fast-forwarding.
+
+    Returns
+    -------
+    TracePeriod or None
+        The longest FENCE-anchored periodic prefix, or ``None`` when
+        the trace has no usable periodic structure.
+    """
+    n = len(trace.opcodes)
+    if n - start_pc < 2 * min_periods:
+        return None
+    opc = np.frombuffer(trace.opcodes, dtype=np.uint8)
+    args = np.frombuffer(trace.args, dtype=np.float64)
+    fences = np.flatnonzero(opc[start_pc:] == FENCE)
+    if fences.size < 2:
+        return None
+    period = int(fences[1] - fences[0])
+    if period < 1:
+        return None
+    # Stripes end in their fence, so the repeating unit starting at
+    # ``start_pc`` is [kernel..., FENCE]; if a prolog precedes the
+    # first full stripe, anchor instead right after the first fence.
+    for start in (start_pc, start_pc + int(fences[0]) + 1):
+        found = _try_period(opc, args, start, period, min_periods)
+        if found is not None:
+            return found
+    return None
